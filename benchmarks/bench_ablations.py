@@ -1,0 +1,116 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not paper figures — these quantify the knobs of the implementation:
+
+* look-ahead depth (1 / 5 / 20): the bounded look-ahead is what escapes
+  local minima (paper Section III-E);
+* locality awareness in LoCBS: the paper's headline idea;
+* edge-growth policy: our width-alignment jump vs the paper's literal
+  one-processor increments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, FAST_ETHERNET_100MBPS
+from repro.experiments.report import format_series_table
+from repro.schedulers import LocMpsScheduler
+from repro.utils.mathx import geo_mean
+from repro.workloads import synthetic_suite
+
+PROCS = [4, 8, 16]
+
+
+def suite():
+    return synthetic_suite(
+        3, min_tasks=10, max_tasks=30, ccr=0.5, amax=32, sigma=1.0, seed=99
+    )
+
+
+def sweep(graphs, scheduler_factory):
+    out = []
+    for p in PROCS:
+        cluster = Cluster(num_processors=p, bandwidth=FAST_ETHERNET_100MBPS)
+        out.append(
+            geo_mean(
+                scheduler_factory().schedule(g, cluster).makespan
+                for g in graphs
+            )
+        )
+    return out
+
+
+def test_ablation_lookahead_depth(run_once):
+    graphs = suite()
+
+    def run():
+        return {
+            f"depth={d}": sweep(
+                graphs, lambda d=d: LocMpsScheduler(look_ahead_depth=d)
+            )
+            for d in (1, 5, 20)
+        }
+
+    series = run_once(run)
+    print()
+    print(
+        format_series_table(
+            "ablation: look-ahead depth (geo-mean makespan, CCR=0.5)",
+            PROCS,
+            series,
+        )
+    )
+    # deeper look-ahead never loses on average
+    for i in range(len(PROCS)):
+        assert series["depth=20"][i] <= series["depth=1"][i] + 1e-6
+
+
+def test_ablation_locality_awareness(run_once):
+    graphs = suite()
+
+    def run():
+        return {
+            "locality-aware": sweep(graphs, LocMpsScheduler),
+            "locality-blind": sweep(
+                graphs, lambda: LocMpsScheduler(locality_blind=True)
+            ),
+        }
+
+    series = run_once(run)
+    print()
+    print(
+        format_series_table(
+            "ablation: locality-conscious placement (geo-mean makespan)",
+            PROCS,
+            series,
+        )
+    )
+    aware = geo_mean(series["locality-aware"])
+    blind = geo_mean(series["locality-blind"])
+    assert aware <= blind + 1e-6
+
+
+def test_ablation_edge_growth_policy(run_once):
+    graphs = suite()
+
+    def run():
+        return {
+            "align": sweep(graphs, lambda: LocMpsScheduler(edge_growth="align")),
+            "increment": sweep(
+                graphs, lambda: LocMpsScheduler(edge_growth="increment")
+            ),
+        }
+
+    series = run_once(run)
+    print()
+    print(
+        format_series_table(
+            "ablation: edge growth align vs paper's increment "
+            "(geo-mean makespan)",
+            PROCS,
+            series,
+        )
+    )
+    # alignment should not lose overall (it is why we deviate)
+    assert geo_mean(series["align"]) <= geo_mean(series["increment"]) * 1.02

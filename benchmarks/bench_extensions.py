@@ -1,0 +1,77 @@
+"""Extension benchmarks: related-work schedulers on extra workloads.
+
+Beyond the paper's figures: LoC-MPS against the Prasanna-Musicus
+SP-optimal allocator and the grid-constrained (Boudet-style) scheduler on
+the FFT and blocked-LU DAGs — workload families the related work was
+designed for. The paper's implicit claim (arbitrary processor subsets +
+locality beat fixed structures) should show up as ratios <= 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MYRINET_2GBPS
+from repro.experiments.common import run_comparison
+from repro.experiments.report import format_series_table
+from repro.utils.mathx import geo_mean
+from repro.workloads import fft_graph, lu_graph
+
+PROCS = [2, 4, 8, 16]
+SCHEMES = ["locmps", "pm", "grid", "cpa", "data"]
+
+
+@pytest.mark.parametrize(
+    "label,graph_factory",
+    [
+        ("fft 2^20, 3 levels", lambda: fft_graph(1 << 20, levels=3)),
+        ("blocked LU 4096, 4x4 tiles", lambda: lu_graph(4096, blocks=4)),
+    ],
+)
+def test_extension_workloads(run_once, label, graph_factory):
+    graph = graph_factory()
+    result = run_once(
+        run_comparison,
+        [graph],
+        SCHEMES,
+        PROCS,
+        bandwidth=MYRINET_2GBPS,
+    )
+    rel = result.relative_to("locmps")
+    print()
+    print(
+        format_series_table(
+            f"extensions: {label} — relative performance vs LoC-MPS",
+            PROCS,
+            rel,
+        )
+    )
+    assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+    for scheme in ("pm", "grid", "cpa", "data"):
+        assert geo_mean(rel[scheme]) <= 1.05, scheme
+
+
+def test_full_ccsd_iteration(run_once):
+    """Extension workload: a full CCSD (T1+T2) iteration, heavy edges."""
+    from repro.workloads import ccsd_full_graph
+
+    graph = ccsd_full_graph(o=16, v=64)
+    result = run_once(
+        run_comparison,
+        [graph],
+        ["locmps", "icaslb", "cpa", "data"],
+        [2, 4, 8],
+        bandwidth=MYRINET_2GBPS,
+    )
+    rel = result.relative_to("locmps")
+    print()
+    print(
+        format_series_table(
+            "extensions: full CCSD iteration (o=16, v=64) — relative "
+            "performance vs LoC-MPS",
+            [2, 4, 8],
+            rel,
+        )
+    )
+    for scheme in ("icaslb", "cpa", "data"):
+        assert geo_mean(rel[scheme]) <= 1.05, scheme

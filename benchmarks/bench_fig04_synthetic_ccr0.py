@@ -1,0 +1,43 @@
+"""Fig 4 — synthetic suites with CCR = 0.
+
+Regenerates both panels at bench scale (3 graphs spanning 10–50 tasks,
+P in {4, 8, 16}) and checks the paper's qualitative claims: every baseline
+trails LoC-MPS on (geometric) average, iCASLB ties it when communication is
+free, and TASK falls off hardest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig04
+from repro.utils.mathx import geo_mean
+
+from benchmarks.conftest import emit
+
+BENCH_PROCS = [4, 8, 16]
+BENCH_GRAPHS = 3
+
+
+@pytest.mark.parametrize("panel", ["a", "b"])
+def test_fig4(run_once, panel):
+    result = run_once(
+        fig04.run,
+        panel,
+        proc_counts=BENCH_PROCS,
+        graph_count=BENCH_GRAPHS,
+        max_tasks=26,
+    )
+    emit(result)
+    rel = result.series
+
+    # LoC-MPS is the reference.
+    assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+    # With CCR = 0 iCASLB is LoC-MPS minus the (inert) locality machinery.
+    assert geo_mean(rel["icaslb"]) > 0.97
+    # Baselines trail on average; TASK trails the hardest and degrades
+    # with processor count.
+    for scheme in ("cpr", "cpa", "task", "data"):
+        assert geo_mean(rel[scheme]) <= 1.0 + 1e-6, scheme
+    assert rel["task"][-1] <= rel["task"][0] + 1e-9
+    assert geo_mean(rel["task"]) < 0.9

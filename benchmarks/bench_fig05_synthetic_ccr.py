@@ -1,0 +1,54 @@
+"""Fig 5 — synthetic suites with CCR = 0.1 and CCR = 1.
+
+Checks the paper's communication claims: iCASLB (communication-blind)
+decays as CCR grows, and DATA's relative standing improves with CCR (it
+pays no redistribution at all).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig05
+from repro.utils.mathx import geo_mean
+
+from benchmarks.conftest import emit
+
+BENCH_PROCS = [4, 8, 16]
+BENCH_GRAPHS = 3
+
+
+def run_panel(run_once, panel):
+    return run_once(
+        fig05.run,
+        panel,
+        proc_counts=BENCH_PROCS,
+        graph_count=BENCH_GRAPHS,
+        max_tasks=26,
+    )
+
+
+def test_fig5a_ccr_0_1(run_once):
+    result = run_panel(run_once, "a")
+    emit(result)
+    rel = result.series
+    assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+    for scheme in ("icaslb", "cpr", "cpa", "task", "data"):
+        assert geo_mean(rel[scheme]) <= 1.0 + 1e-6, scheme
+
+
+def test_fig5b_ccr_1_and_icaslb_decay(run_once):
+    result_b = run_panel(run_once, "b")
+    emit(result_b)
+    rel_b = result_b.series
+    for scheme in ("icaslb", "cpr", "cpa", "task"):
+        assert geo_mean(rel_b[scheme]) <= 1.0 + 1e-6, scheme
+    # cross-panel claims need panel (a) too — regenerate it untimed
+    result_a = fig05.run(
+        "a", proc_counts=BENCH_PROCS, graph_count=BENCH_GRAPHS,
+        max_tasks=26,
+    )
+    # iCASLB ignores communication: its deficit grows from CCR 0.1 to 1
+    assert geo_mean(rel_b["icaslb"]) <= geo_mean(result_a.series["icaslb"]) + 0.02
+    # DATA pays no redistribution: its relative standing improves with CCR
+    assert geo_mean(rel_b["data"]) >= geo_mean(result_a.series["data"]) - 0.02

@@ -1,0 +1,27 @@
+"""Fig 8 — CCSD T1 with and without comp/comm overlap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig08
+from repro.utils.mathx import geo_mean
+
+from benchmarks.conftest import emit
+
+BENCH_PROCS = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("panel", ["a", "b"])
+def test_fig8(run_once, panel):
+    result = run_once(fig08.run, panel, proc_counts=BENCH_PROCS)
+    emit(result)
+    rel = result.series
+    assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+    # the T1 DAG's many small non-scalable tasks sink TASK, and CPA's
+    # decoupled allocation trails clearly
+    assert geo_mean(rel["task"]) < 0.8
+    assert geo_mean(rel["cpa"]) < 1.0
+    # nobody meaningfully beats LoC-MPS
+    for scheme in ("icaslb", "cpr", "data"):
+        assert geo_mean(rel[scheme]) <= 1.03, scheme

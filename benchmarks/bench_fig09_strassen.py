@@ -1,0 +1,33 @@
+"""Fig 9 — Strassen matrix multiplication at 1024^2 and 4096^2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig09
+from repro.utils.mathx import geo_mean
+
+from benchmarks.conftest import emit
+
+BENCH_PROCS = [2, 4, 8, 16]
+
+
+def test_fig9a_1024(run_once):
+    result = run_once(fig09.run, "a", proc_counts=BENCH_PROCS)
+    emit(result)
+    rel = result.series
+    assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+    for scheme in ("icaslb", "cpr", "cpa", "task", "data"):
+        assert geo_mean(rel[scheme]) <= 1.03, scheme
+
+
+def test_fig9b_4096_data_recovers(run_once):
+    result_b = run_once(fig09.run, "b", proc_counts=BENCH_PROCS)
+    emit(result_b)
+    rel_b = result_b.series
+    for scheme in ("icaslb", "cpr", "cpa", "task", "data"):
+        assert geo_mean(rel_b[scheme]) <= 1.03, scheme
+    # the paper: growing the problem 16x makes the tasks scale better, so
+    # DATA's relative standing improves from panel (a) to panel (b)
+    result_a = fig09.run("a", proc_counts=BENCH_PROCS)
+    assert geo_mean(rel_b["data"]) >= geo_mean(result_a.series["data"]) - 0.02

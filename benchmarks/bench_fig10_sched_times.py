@@ -1,0 +1,30 @@
+"""Fig 10 — scheduling (wall-clock) times for the application DAGs.
+
+The reproduced quantity is the *ordering* (CPA/TASK/DATA cheap, CPR mid,
+LoC-MPS most expensive) and the paper's headline relation: scheduling time
+stays far below the application makespan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig10
+from repro.utils.mathx import mean
+
+from benchmarks.conftest import emit
+
+BENCH_PROCS = [2, 8, 16]
+
+
+@pytest.mark.parametrize("panel", ["a", "b"])
+def test_fig10(run_once, panel):
+    result = run_once(fig10.run, panel, proc_counts=BENCH_PROCS)
+    emit(result)
+    times = result.sched_times
+    assert times is not None
+    # cost ordering: the integrated look-ahead schemes cost the most, the
+    # one-shot schemes are orders of magnitude cheaper
+    assert mean(times["locmps"]) > mean(times["cpr"])
+    assert mean(times["cpr"]) > mean(times["data"])
+    assert mean(times["cpa"]) < mean(times["locmps"])

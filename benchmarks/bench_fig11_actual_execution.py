@@ -1,0 +1,27 @@
+"""Fig 11 — "actual execution" of CCSD T1 (noisy single-port replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig11
+from repro.utils.mathx import geo_mean
+
+from benchmarks.conftest import emit
+
+
+def test_fig11_actual_execution(run_once):
+    result = run_once(
+        fig11.run,
+        proc_counts=[2, 4, 8, 16],
+        trials=3,
+    )
+    emit(result)
+    rel = result.series
+    assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+    # simulation trends carry over to (noisy) execution: TASK and CPA still
+    # trail badly, and no scheme meaningfully beats LoC-MPS
+    assert geo_mean(rel["task"]) < 0.8
+    assert geo_mean(rel["cpa"]) < 1.0
+    for scheme in ("icaslb", "cpr", "data"):
+        assert geo_mean(rel[scheme]) <= 1.05, scheme

@@ -1,0 +1,61 @@
+"""Scheduler-cost scaling (the paper's Section III complexity discussion).
+
+The paper derives LoCBS at ``O(|V|^3 P log P + |V|^4 |E| P)`` worst case,
+CPR in the middle, and CPA as the cheap scheme, and argues the absolute
+times stay practical because mixed-parallel DAGs are small. This benchmark
+measures wall-clock scheduling time as the task count and processor count
+grow, checking the qualitative ordering LoC-MPS > CPR > CPA that Fig 10
+reports, and that LoCBS alone (one scheduling pass) stays orders of
+magnitude below the full LoC-MPS loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.experiments.report import format_series_table
+from repro.schedulers import get_scheduler, locbs_schedule
+from repro.utils.mathx import mean
+from repro.workloads import synthetic_dag
+
+SIZES = [10, 20, 30]
+P = 16
+
+
+def test_scheduler_cost_scaling(run_once):
+    graphs = {n: synthetic_dag(n, ccr=0.3, amax=32, seed=5 + n) for n in SIZES}
+    cluster = Cluster(num_processors=P)
+
+    def run():
+        series = {"locbs-once": [], "cpa": [], "cpr": [], "locmps": []}
+        for n in SIZES:
+            graph = graphs[n]
+            t0 = time.perf_counter()
+            locbs_schedule(graph, cluster, {t: 1 for t in graph.tasks()})
+            series["locbs-once"].append(time.perf_counter() - t0)
+            for name in ("cpa", "cpr", "locmps"):
+                schedule = get_scheduler(name).schedule(graph, cluster)
+                series[name].append(schedule.scheduling_time)
+        return series
+
+    series = run_once(run)
+    print()
+    print(
+        format_series_table(
+            f"scheduling wall-clock seconds vs task count (P={P}); rows are |V|",
+            SIZES,
+            series,
+            value_format="{:.4g}",
+            row_label="|V|",
+        )
+    )
+    # the paper's cost ordering, averaged over sizes
+    assert mean(series["locmps"]) > mean(series["cpr"])
+    assert mean(series["cpr"]) > mean(series["cpa"])
+    # one LoCBS pass is a small fraction of the full allocation loop
+    assert mean(series["locbs-once"]) < 0.1 * mean(series["locmps"])
+    # cost grows with |V| for the iterative schemes
+    assert series["locmps"][-1] > series["locmps"][0]

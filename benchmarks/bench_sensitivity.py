@@ -1,0 +1,28 @@
+"""Extension: bandwidth-sensitivity sweep (locality's value vs network speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sensitivity import run_bandwidth_sensitivity
+from repro.utils.mathx import geo_mean
+
+from benchmarks.conftest import emit
+
+
+def test_bandwidth_sensitivity(run_once):
+    result = run_once(
+        run_bandwidth_sensitivity,
+        num_processors=8,
+        bandwidths=[250e6, 50e6, 12.5e6],
+    )
+    emit(result)
+    rel = result.series
+    assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+    # iCASLB plans blind to communication: as the network slows its ratio
+    # must not improve (fast-network column >= slow-network column, with a
+    # small tolerance for heuristic noise)
+    assert rel["icaslb"][-1] <= rel["icaslb"][0] + 0.05
+    # nobody meaningfully beats LoC-MPS anywhere in the sweep
+    for scheme in ("icaslb", "cpr", "cpa", "data"):
+        assert geo_mean(rel[scheme]) <= 1.05, scheme

@@ -1,0 +1,40 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one figure of the paper at reduced scale (fewer
+graphs / smaller processor sweeps than ``--full`` CLI runs) and prints the
+resulting series table, so ``pytest benchmarks/ --benchmark-only`` both
+times the experiment drivers and emits the reproduced data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: regenerated series tables are appended here as well as printed, so they
+#: survive pytest's stdout capture (view with ``pytest -s`` or read the file)
+TABLES_PATH = Path(__file__).with_name("last_figure_tables.txt")
+
+
+def emit(result) -> None:
+    """Print a FigureResult table and persist it to TABLES_PATH."""
+    text = result.text() if hasattr(result, "text") else str(result)
+    print()
+    print(text)
+    with TABLES_PATH.open("a") as fh:
+        fh.write(text + "\n\n")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figure regenerations take seconds to minutes; re-running them for
+    statistical timing would be wasteful, so a single round is used.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

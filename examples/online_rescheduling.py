@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""On-line rescheduling of a mixed-parallel application (paper future work).
+
+The paper's conclusion plans "incorporation of the scheduling strategy into
+a run-time framework for the on-line scheduling of mixed parallel
+applications". This example runs that framework: an application executes
+under stochastic noise, and whenever a task finishes far from its predicted
+time, LoC-MPS replans the remaining subgraph with completed work pinned —
+realized processor release times and the concrete locations of produced
+data become a SchedulingContext.
+
+Run:  python examples/online_rescheduling.py
+"""
+
+from repro import Cluster
+from repro.sim import LognormalNoise, OnlineRescheduler
+from repro.workloads import synthetic_dag
+
+
+def main() -> None:
+    graph = synthetic_dag(20, ccr=0.4, amax=32, sigma=1.0, seed=21)
+    cluster = Cluster(num_processors=8)
+
+    print(f"workload: {graph!r} on P={cluster.num_processors}\n")
+    print(f"{'sigma':>6} {'seed':>5} | {'online':>8} {'static':>8} "
+          f"{'replans':>7} {'online/static':>13}")
+    print("-" * 56)
+    for sigma in (0.1, 0.3, 0.5):
+        for seed in (1, 2, 3):
+            runner = OnlineRescheduler(
+                graph,
+                cluster,
+                noise=LognormalNoise(sigma_compute=sigma, sigma_network=sigma),
+                seed=seed,
+                deviation_threshold=0.10,
+            )
+            report = runner.run()
+            print(
+                f"{sigma:>6.1f} {seed:>5} | {report.makespan:8.2f} "
+                f"{report.static_makespan:8.2f} {report.replans:>7} "
+                f"{report.makespan / report.static_makespan:>13.3f}"
+            )
+    print(
+        "\nBelow 1.0 in the last column means replanning recovered time the"
+        "\nstatic schedule lost to noise; above 1.0 means the deviations were"
+        "\nbenign and replanning churned placements for nothing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""repro — reproduction of *Locality Conscious Processor Allocation and
+Scheduling for Mixed Parallel Applications* (Vydyanathan et al., IEEE
+CLUSTER 2006).
+
+The package implements the paper's LoC-MPS algorithm, its LoCBS
+locality-conscious backfill scheduler, every baseline it evaluates against
+(iCASLB, CPR, CPA, TASK, DATA), the workloads (synthetic Downey-model DAG
+suites, CCSD-T1 tensor contractions, Strassen matrix multiplication), and an
+experiment harness regenerating every figure of the evaluation section.
+
+Quick start::
+
+    from repro import Cluster, LocMpsScheduler, synthetic_dag
+
+    graph = synthetic_dag(num_tasks=30, seed=7)
+    cluster = Cluster(num_processors=32)
+    schedule = LocMpsScheduler().schedule(graph, cluster)
+    print(schedule.makespan)
+"""
+
+from repro.cluster import (
+    Cluster,
+    FAST_ETHERNET_100MBPS,
+    GIGABIT_ETHERNET,
+    MYRINET_2GBPS,
+)
+from repro.exceptions import (
+    AllocationError,
+    CycleError,
+    GraphError,
+    ProfileError,
+    RedistributionError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    ValidationError,
+    WorkloadError,
+)
+from repro.graph import (
+    ScheduleDAG,
+    Task,
+    TaskGraph,
+    bottom_levels,
+    concurrency_ratio,
+    concurrent_tasks,
+    critical_path,
+    critical_path_length,
+    load_graph,
+    save_graph,
+    top_levels,
+)
+from repro.redistribution import (
+    BlockCyclicLayout,
+    RedistributionModel,
+    estimate_edge_cost,
+    locality_fraction,
+    nonlocal_volume,
+    volume_matrix,
+)
+from repro.schedule import (
+    PlacedTask,
+    ProcessorTimeline,
+    Schedule,
+    gantt_ascii,
+    schedule_summary,
+    utilization,
+    validate_schedule,
+)
+from repro.schedulers import (
+    CpaScheduler,
+    CprScheduler,
+    DataParallelScheduler,
+    IcaslbScheduler,
+    LocMpsScheduler,
+    SCHEDULERS,
+    Scheduler,
+    SchedulingResult,
+    TaskParallelScheduler,
+    TsasScheduler,
+    get_scheduler,
+    locbs_schedule,
+)
+from repro.speedup import (
+    AmdahlSpeedup,
+    DowneySpeedup,
+    ExecutionProfile,
+    LinearSpeedup,
+    SpeedupModel,
+    TableSpeedup,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cluster
+    "Cluster",
+    "FAST_ETHERNET_100MBPS",
+    "GIGABIT_ETHERNET",
+    "MYRINET_2GBPS",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ProfileError",
+    "AllocationError",
+    "ScheduleError",
+    "ValidationError",
+    "RedistributionError",
+    "WorkloadError",
+    "SimulationError",
+    # graph
+    "Task",
+    "TaskGraph",
+    "ScheduleDAG",
+    "top_levels",
+    "bottom_levels",
+    "critical_path",
+    "critical_path_length",
+    "concurrent_tasks",
+    "concurrency_ratio",
+    "save_graph",
+    "load_graph",
+    # speedup
+    "SpeedupModel",
+    "DowneySpeedup",
+    "AmdahlSpeedup",
+    "LinearSpeedup",
+    "TableSpeedup",
+    "ExecutionProfile",
+    # redistribution
+    "BlockCyclicLayout",
+    "RedistributionModel",
+    "estimate_edge_cost",
+    "volume_matrix",
+    "nonlocal_volume",
+    "locality_fraction",
+    # schedule
+    "PlacedTask",
+    "Schedule",
+    "ProcessorTimeline",
+    "validate_schedule",
+    "utilization",
+    "gantt_ascii",
+    "schedule_summary",
+    # schedulers
+    "Scheduler",
+    "SchedulingResult",
+    "locbs_schedule",
+    "LocMpsScheduler",
+    "IcaslbScheduler",
+    "CprScheduler",
+    "CpaScheduler",
+    "TsasScheduler",
+    "TaskParallelScheduler",
+    "DataParallelScheduler",
+    "SCHEDULERS",
+    "get_scheduler",
+    # workloads (lazy)
+    "synthetic_dag",
+]
+
+
+def synthetic_dag(*args, **kwargs):
+    """Convenience wrapper for :func:`repro.workloads.synthetic_dag`.
+
+    Imported lazily to avoid a circular import at package init.
+    """
+    from repro.workloads import synthetic_dag as _impl
+
+    return _impl(*args, **kwargs)

@@ -1,0 +1,33 @@
+"""Schedule analysis: makespan lower bounds and schedule critiques.
+
+* :mod:`repro.analysis.bounds` — certified lower bounds on the makespan of
+  any valid schedule; used as test oracles and to report optimality gaps.
+* :mod:`repro.analysis.critique` — post-mortem of a concrete schedule:
+  realized critical path, per-task slack, communication/computation/idle
+  breakdown.
+"""
+
+from repro.analysis.bounds import (
+    area_bound,
+    critical_path_bound,
+    combined_lower_bound,
+    malleable_area_bound,
+    optimality_gap,
+)
+from repro.analysis.critique import (
+    ScheduleCritique,
+    critique_schedule,
+)
+from repro.analysis.whatif import bandwidth_whatif, width_whatif
+
+__all__ = [
+    "area_bound",
+    "critical_path_bound",
+    "malleable_area_bound",
+    "combined_lower_bound",
+    "optimality_gap",
+    "ScheduleCritique",
+    "critique_schedule",
+    "bandwidth_whatif",
+    "width_whatif",
+]

@@ -1,0 +1,102 @@
+"""Certified makespan lower bounds for malleable-task DAG scheduling.
+
+Every bound here holds for *any* valid schedule of the graph on ``P``
+processors under the library's cost model (speedup never superlinear,
+redistribution never negative). They serve three purposes: test oracles
+for the schedulers, optimality-gap reporting in experiment output, and a
+sanity anchor when tuning heuristics.
+
+Bounds implemented (all classical, cf. Turek et al. SPAA'92 and the
+malleable-task literature the paper cites):
+
+* **area bound** — total sequential work cannot be compressed below
+  ``W / P`` because efficiency never exceeds 1.
+* **malleable area bound** — tighter: each task's *minimal area* is
+  ``min_p p * et(t, p)``; their sum over ``P`` processors bounds the
+  makespan.
+* **critical-path bound** — along any dependence chain, each task needs at
+  least ``et(t, p_best)`` even with free communication.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.graph import TaskGraph
+from repro.graph.dag_ops import critical_path_length
+from repro.schedule import Schedule
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "area_bound",
+    "malleable_area_bound",
+    "critical_path_bound",
+    "combined_lower_bound",
+    "optimality_gap",
+]
+
+
+def area_bound(graph: TaskGraph, num_processors: int) -> float:
+    """``W / P``: total sequential work spread perfectly over the machine."""
+    check_positive_int(num_processors, "num_processors")
+    return graph.total_sequential_work() / num_processors
+
+
+def malleable_area_bound(graph: TaskGraph, num_processors: int) -> float:
+    """Sum of per-task minimal areas over ``P``.
+
+    A task running on ``p`` processors for ``et(t, p)`` occupies area
+    ``p * et(t, p) >= min_q q * et(t, q)``; areas tile the ``P x makespan``
+    rectangle, so the sum of minima divided by ``P`` bounds the makespan.
+    Always at least :func:`area_bound` (the minimum area is at ``p = 1``
+    for sublinear speedups, where it equals ``et(t, 1)``).
+    """
+    check_positive_int(num_processors, "num_processors")
+    total = 0.0
+    for t in graph.tasks():
+        profile = graph.task(t).profile
+        total += min(
+            profile.work(p) for p in range(1, num_processors + 1)
+        )
+    return total / num_processors
+
+
+def critical_path_bound(graph: TaskGraph, num_processors: int) -> float:
+    """Longest dependence chain with every task at its fastest width.
+
+    Communication is taken as free (it only adds time), so this is a valid
+    lower bound for both overlap modes.
+    """
+    check_positive_int(num_processors, "num_processors")
+    if graph.num_tasks == 0:
+        return 0.0
+    return critical_path_length(
+        graph.nx_graph(),
+        lambda t: graph.et(t, graph.task(t).profile.pbest(num_processors)),
+        lambda u, v: 0.0,
+    )
+
+
+def combined_lower_bound(graph: TaskGraph, num_processors: int) -> float:
+    """The tightest of all implemented bounds."""
+    return max(
+        area_bound(graph, num_processors),
+        malleable_area_bound(graph, num_processors),
+        critical_path_bound(graph, num_processors),
+    )
+
+
+def optimality_gap(
+    schedule: Schedule, graph: TaskGraph, *, cluster: Optional[Cluster] = None
+) -> float:
+    """``makespan / lower_bound`` — 1.0 means provably optimal.
+
+    The gap is an upper bound on the schedule's distance from optimal; the
+    true optimum may be well above the lower bound.
+    """
+    cl = cluster or schedule.cluster
+    bound = combined_lower_bound(graph, cl.num_processors)
+    if bound <= 0:
+        return 1.0
+    return schedule.makespan / bound

@@ -1,0 +1,136 @@
+"""Post-mortem analysis of a concrete schedule.
+
+Answers the questions a performance engineer asks after a run: which chain
+of tasks (and waits) actually determined the makespan, how much slack each
+task had, and where the processor-time went (compute, inbound
+communication, idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.exceptions import ValidationError
+from repro.graph import TaskGraph
+from repro.redistribution import RedistributionModel
+from repro.schedule import Schedule
+
+__all__ = ["ScheduleCritique", "critique_schedule"]
+
+_TOL = 1e-6
+
+
+@dataclass
+class ScheduleCritique:
+    """Summary of where a schedule's time went."""
+
+    makespan: float
+    #: chain of task names whose starts/finishes are tight back-to-back
+    realized_critical_path: List[str]
+    #: per-task slack: how much later the task could finish without moving
+    #: the makespan, given the rest of the schedule stays fixed
+    slack: Dict[str, float]
+    #: processor-time fractions in [0, 1]
+    compute_fraction: float
+    comm_fraction: float
+    idle_fraction: float
+
+    def bottleneck_tasks(self, threshold: float = 1e-9) -> List[str]:
+        """Tasks with (almost) zero slack — the ones worth optimizing."""
+        return sorted(t for t, s in self.slack.items() if s <= threshold)
+
+    def text(self) -> str:
+        cp = " -> ".join(self.realized_critical_path)
+        return (
+            f"makespan {self.makespan:.3f}\n"
+            f"realized critical path: {cp}\n"
+            f"processor-time: {self.compute_fraction:.1%} compute, "
+            f"{self.comm_fraction:.1%} communication, "
+            f"{self.idle_fraction:.1%} idle\n"
+            f"zero-slack tasks: {', '.join(self.bottleneck_tasks()) or '-'}"
+        )
+
+
+def _downstream_slack(
+    schedule: Schedule, graph: TaskGraph, model: RedistributionModel
+) -> Dict[str, float]:
+    """Latest-finish analysis over the realized schedule.
+
+    A task's finish may slip until it would delay either a graph successor
+    (its start minus the realized transfer time) or the next task that
+    reuses one of its processors. The makespan anchors the recursion.
+    """
+    makespan = schedule.makespan
+    # next occupant per processor, by start time
+    by_proc: Dict[int, List] = {}
+    for placed in schedule:
+        for p in placed.processors:
+            by_proc.setdefault(p, []).append(placed)
+    for seq in by_proc.values():
+        seq.sort(key=lambda pl: pl.start)
+
+    latest: Dict[str, float] = {}
+    for placed in sorted(schedule, key=lambda pl: -pl.finish):
+        name = placed.name
+        bound = makespan
+        for succ in graph.successors(name):
+            succ_placed = schedule.get(succ)
+            if succ_placed is None:
+                continue
+            xfer = model.transfer_time(
+                placed.processors,
+                succ_placed.processors,
+                graph.data_volume(name, succ),
+            )
+            bound = min(bound, succ_placed.exec_start - xfer)
+        for p in placed.processors:
+            seq = by_proc[p]
+            idx = seq.index(placed)
+            if idx + 1 < len(seq):
+                bound = min(bound, seq[idx + 1].start)
+        latest[name] = bound
+    return {t: latest[t] - schedule[t].finish for t in latest}
+
+
+def _realized_critical_path(schedule: Schedule, slack: Dict[str, float]) -> List[str]:
+    """A chain of zero-slack tasks from time 0 to the makespan."""
+    tight = [
+        schedule[t]
+        for t, s in slack.items()
+        if s <= _TOL
+    ]
+    tight.sort(key=lambda pl: (pl.start, pl.finish, pl.name))
+    chain: List[str] = []
+    clock = None
+    for placed in tight:
+        if clock is None or placed.finish > clock + _TOL:
+            chain.append(placed.name)
+            clock = placed.finish
+    return chain
+
+
+def critique_schedule(schedule: Schedule, graph: TaskGraph) -> ScheduleCritique:
+    """Analyze *schedule* of *graph*; raises if tasks are missing."""
+    missing = [t for t in graph.tasks() if t not in schedule]
+    if missing:
+        raise ValidationError(f"schedule missing tasks: {missing!r}")
+    model = RedistributionModel(schedule.cluster)
+    makespan = schedule.makespan
+    P = schedule.cluster.num_processors
+
+    compute = sum(p.exec_duration * p.width for p in schedule)
+    comm_busy = sum(
+        (p.exec_start - p.start) * p.width for p in schedule
+    )
+    total = P * makespan if makespan > 0 else 1.0
+    slack = _downstream_slack(schedule, graph, model)
+
+    return ScheduleCritique(
+        makespan=makespan,
+        realized_critical_path=_realized_critical_path(schedule, slack),
+        slack=slack,
+        compute_fraction=compute / total,
+        comm_fraction=comm_busy / total,
+        idle_fraction=max(0.0, 1.0 - (compute + comm_busy) / total),
+    )

@@ -1,0 +1,80 @@
+"""Counterfactual ("what-if") analysis of schedules.
+
+Two questions a performance engineer asks of a committed plan:
+
+* *What if the network were different?* — keep the plan's placement
+  decisions and re-time them under another bandwidth
+  (:func:`bandwidth_whatif`). Because LoC-MPS placements are largely
+  redistribution-free, its curve is flat where locality-unaware plans
+  degrade — the quantitative core of the bandwidth-sensitivity extension
+  experiment.
+* *What if this task ran at a different width?* — pin every other task's
+  processor count and sweep one task's width through LoCBS
+  (:func:`width_whatif`), exposing how sensitive the makespan is to a
+  single allocation decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence
+
+from repro.cluster import Cluster
+from repro.exceptions import ValidationError
+from repro.graph import TaskGraph
+from repro.schedule import Schedule
+from repro.schedulers.locbs import locbs_schedule
+from repro.schedulers.retime import retime_with_communication
+
+__all__ = ["bandwidth_whatif", "width_whatif"]
+
+
+def bandwidth_whatif(
+    graph: TaskGraph, schedule: Schedule, bandwidths: Sequence[float]
+) -> Dict[float, float]:
+    """Makespan of re-timing *schedule*'s placements per bandwidth.
+
+    Processor sets and dispatch order are kept; start times are recomputed
+    under each network. Returns ``{bandwidth: makespan}``.
+    """
+    if not bandwidths:
+        raise ValidationError("bandwidth_whatif needs at least one bandwidth")
+    out: Dict[float, float] = {}
+    for bw in bandwidths:
+        cluster = replace(schedule.cluster, bandwidth=float(bw))
+        result = retime_with_communication(graph, cluster, schedule)
+        out[float(bw)] = result.makespan
+    return out
+
+
+def width_whatif(
+    graph: TaskGraph,
+    cluster: Cluster,
+    schedule: Schedule,
+    task: str,
+    *,
+    widths: Sequence[int] = (),
+) -> Dict[int, float]:
+    """Makespan per candidate width of *task*, other allocations pinned.
+
+    The base allocation comes from *schedule*; each candidate width
+    re-schedules the whole graph through LoCBS (placement adapts, widths of
+    the other tasks do not). Returns ``{width: makespan}``.
+    """
+    if task not in graph:
+        raise ValidationError(f"unknown task {task!r}")
+    base_alloc = schedule.allocation()
+    missing = [t for t in graph.tasks() if t not in base_alloc]
+    if missing:
+        raise ValidationError(f"schedule missing tasks: {missing!r}")
+    candidates = list(widths) or list(range(1, cluster.num_processors + 1))
+    out: Dict[int, float] = {}
+    for width in candidates:
+        if not (1 <= width <= cluster.num_processors):
+            raise ValidationError(
+                f"width {width} outside [1, {cluster.num_processors}]"
+            )
+        alloc = dict(base_alloc)
+        alloc[task] = width
+        out[width] = locbs_schedule(graph, cluster, alloc).makespan
+    return out

@@ -1,0 +1,15 @@
+"""Homogeneous compute-cluster model (paper Section II system model)."""
+
+from repro.cluster.machine import (
+    Cluster,
+    FAST_ETHERNET_100MBPS,
+    GIGABIT_ETHERNET,
+    MYRINET_2GBPS,
+)
+
+__all__ = [
+    "Cluster",
+    "FAST_ETHERNET_100MBPS",
+    "GIGABIT_ETHERNET",
+    "MYRINET_2GBPS",
+]

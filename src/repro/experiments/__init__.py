@@ -1,0 +1,39 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+Each ``figXX`` module exposes ``run(quick=True, ...)`` returning a result
+object and a module-level ``main()`` used by the CLI::
+
+    python -m repro.experiments fig4a          # quick mode
+    python -m repro.experiments fig4a --full   # paper-scale parameters
+
+Quick mode shrinks the graph suites and processor sweeps so a figure
+regenerates in minutes on a laptop; full mode uses the paper's parameters
+(30 graphs, up to 128 processors) and can take hours for the LoC-MPS
+family, matching the scheduling-time magnitudes the paper itself reports.
+"""
+
+from repro.experiments.common import (
+    ComparisonResult,
+    relative_performance,
+    run_comparison,
+)
+from repro.experiments.report import format_series_table
+from repro.experiments.export import (
+    figure_from_dict,
+    figure_to_csv,
+    figure_to_dict,
+    load_figure,
+    save_figure,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "relative_performance",
+    "run_comparison",
+    "format_series_table",
+    "figure_to_dict",
+    "figure_from_dict",
+    "figure_to_csv",
+    "save_figure",
+    "load_figure",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` — figure regeneration CLI."""
+
+from repro.experiments.cli import main
+
+main()

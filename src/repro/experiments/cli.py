@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Examples::
+
+    python -m repro.experiments fig4a
+    python -m repro.experiments fig5b --full
+    python -m repro.experiments fig8b --procs 2 4 8 16
+    python -m repro.experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import fig04, fig05, fig06, fig08, fig09, fig10, fig11
+from repro.experiments.figures import FigureResult
+
+__all__ = ["main", "run_figure_cli", "FIGURES"]
+
+#: figure id -> callable(quick, proc_counts, progress) -> FigureResult
+FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    "fig4a": lambda **kw: fig04.run("a", **kw),
+    "fig4b": lambda **kw: fig04.run("b", **kw),
+    "fig5a": lambda **kw: fig05.run("a", **kw),
+    "fig5b": lambda **kw: fig05.run("b", **kw),
+    "fig6": lambda **kw: fig06.run(**kw),
+    "fig8a": lambda **kw: fig08.run("a", **kw),
+    "fig8b": lambda **kw: fig08.run("b", **kw),
+    "fig9a": lambda **kw: fig09.run("a", **kw),
+    "fig9b": lambda **kw: fig09.run("b", **kw),
+    "fig10a": lambda **kw: fig10.run("a", **kw),
+    "fig10b": lambda **kw: fig10.run("b", **kw),
+    "fig11": lambda **kw: fig11.run(**kw),
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the figures of the LoC-MPS paper (CLUSTER 2006).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="which figure to regenerate ('all' runs every figure)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale parameters (30 graphs, up to 128 processors); slow",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="override the processor-count sweep",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-run progress to stderr",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan (graph, P) cells out over this many worker processes "
+        "(not used by fig11)",
+    )
+    return parser
+
+
+def run_figure_cli(
+    default_figure: str, argv: Optional[Sequence[str]] = None
+) -> None:
+    """Entry used by the per-figure modules' ``main`` hooks."""
+    main([default_figure] + list(argv or []))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    args = _parser().parse_args(argv)
+    names: List[str] = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        kwargs = dict(
+            quick=not args.full,
+            proc_counts=args.procs,
+            progress=args.progress,
+        )
+        if name != "fig11":  # fig11 replays schedules; no cell fan-out
+            kwargs["workers"] = args.workers
+        result = FIGURES[name](**kwargs)
+        print(result.text())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

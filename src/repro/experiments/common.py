@@ -1,0 +1,202 @@
+"""Shared experiment machinery: scheduler x processor-count sweeps.
+
+The paper's headline metric is *relative performance*: the ratio of the
+makespan produced by LoC-MPS to that of a given algorithm on the same
+processor count (values below one mean the algorithm trails LoC-MPS).
+Across a suite of graphs, ratios are aggregated with the geometric mean —
+the standard choice for normalized performance ratios.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster import Cluster
+from repro.exceptions import ExperimentError
+from repro.graph import TaskGraph
+from repro.schedule import validate_schedule
+from repro.schedulers import get_scheduler
+from repro.utils.mathx import geo_mean
+
+__all__ = ["ComparisonResult", "run_comparison", "relative_performance"]
+
+
+@dataclass
+class ComparisonResult:
+    """Raw sweep output: makespans and scheduling times per scheme/graph/P."""
+
+    schemes: List[str]
+    proc_counts: List[int]
+    graph_names: List[str]
+    #: ``makespans[scheme][g][p_idx]``
+    makespans: Dict[str, List[List[float]]]
+    #: ``sched_times[scheme][g][p_idx]`` (wall-clock seconds)
+    sched_times: Dict[str, List[List[float]]]
+    overlap: bool = True
+
+    def mean_makespan(self, scheme: str) -> List[float]:
+        """Geometric-mean makespan of *scheme* per processor count."""
+        per_graph = self.makespans[scheme]
+        return [
+            geo_mean(per_graph[g][i] for g in range(len(self.graph_names)))
+            for i in range(len(self.proc_counts))
+        ]
+
+    def mean_sched_time(self, scheme: str) -> List[float]:
+        """Arithmetic-mean scheduling time of *scheme* per processor count."""
+        per_graph = self.sched_times[scheme]
+        n = len(self.graph_names)
+        return [
+            sum(per_graph[g][i] for g in range(n)) / n
+            for i in range(len(self.proc_counts))
+        ]
+
+    def relative_to(self, reference: str = "locmps") -> Dict[str, List[float]]:
+        """Paper-style relative performance per scheme and processor count.
+
+        ``ratio = makespan(reference) / makespan(scheme)``, geometric-mean
+        over graphs; the reference scheme is identically 1.
+        """
+        if reference not in self.makespans:
+            raise ExperimentError(f"reference scheme {reference!r} not in results")
+        ref = self.makespans[reference]
+        out: Dict[str, List[float]] = {}
+        for scheme in self.schemes:
+            cur = self.makespans[scheme]
+            series: List[float] = []
+            for i in range(len(self.proc_counts)):
+                ratios = [
+                    ref[g][i] / cur[g][i] for g in range(len(self.graph_names))
+                ]
+                series.append(geo_mean(ratios))
+            out[scheme] = series
+        return out
+
+
+def relative_performance(
+    reference_makespan: float, scheme_makespan: float
+) -> float:
+    """Single-pair paper-style ratio (reference / scheme)."""
+    if scheme_makespan <= 0:
+        raise ExperimentError(
+            f"scheme makespan must be > 0, got {scheme_makespan}"
+        )
+    return reference_makespan / scheme_makespan
+
+
+def _run_cell(
+    args: Tuple[TaskGraph, int, float, bool, Sequence[str], bool]
+) -> List[Tuple[str, float, float]]:
+    """Schedule one (graph, P) cell with every scheme (worker entry point).
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it — the
+    paper's first future-work item is parallelizing the scheduling step,
+    and sweeping cells across worker processes is the embarrassingly
+    parallel layer of that.
+    """
+    graph, P, bandwidth, overlap, schemes, validate = args
+    cluster = Cluster(num_processors=P, bandwidth=bandwidth, overlap=overlap)
+    out: List[Tuple[str, float, float]] = []
+    for scheme in schemes:
+        t0 = time.perf_counter()
+        schedule = get_scheduler(scheme).schedule(graph, cluster)
+        elapsed = time.perf_counter() - t0
+        if validate:
+            validate_schedule(schedule, graph)
+        out.append((scheme, schedule.makespan, elapsed))
+    return out
+
+
+def run_comparison(
+    graphs: Sequence[TaskGraph],
+    schemes: Sequence[str],
+    proc_counts: Sequence[int],
+    *,
+    bandwidth: float,
+    overlap: bool = True,
+    validate: bool = True,
+    progress: bool = False,
+    scheduler_factory: Optional[Callable[[str], object]] = None,
+    workers: int = 1,
+) -> ComparisonResult:
+    """Sweep every scheme over every graph and processor count.
+
+    Every produced schedule is checked by the independent validator unless
+    ``validate=False`` (benchmarks disable it to time the schedulers alone).
+    ``workers > 1`` fans the (graph, P) cells out over a process pool —
+    per-cell scheduling times remain accurate because each cell is timed
+    inside its worker. ``scheduler_factory`` is only supported serially.
+    """
+    if not graphs:
+        raise ExperimentError("run_comparison needs at least one graph")
+    if not schemes:
+        raise ExperimentError("run_comparison needs at least one scheme")
+    if not proc_counts:
+        raise ExperimentError("run_comparison needs at least one processor count")
+    if workers > 1 and scheduler_factory is not None:
+        raise ExperimentError(
+            "custom scheduler_factory is not picklable across workers; "
+            "use workers=1"
+        )
+    factory = scheduler_factory or get_scheduler
+
+    makespans: Dict[str, List[List[float]]] = {
+        s: [[math.nan] * len(proc_counts) for _ in graphs] for s in schemes
+    }
+    sched_times: Dict[str, List[List[float]]] = {
+        s: [[math.nan] * len(proc_counts) for _ in graphs] for s in schemes
+    }
+
+    cells = [
+        (gi, pi, (graphs[gi], P, bandwidth, overlap, tuple(schemes), validate))
+        for gi in range(len(graphs))
+        for pi, P in enumerate(proc_counts)
+    ]
+
+    def record(gi: int, pi: int, rows: List[Tuple[str, float, float]]) -> None:
+        for scheme, makespan, elapsed in rows:
+            makespans[scheme][gi][pi] = makespan
+            sched_times[scheme][gi][pi] = elapsed
+            if progress:
+                print(
+                    f"  [{graphs[gi].name} P={proc_counts[pi]}] {scheme}: "
+                    f"makespan={makespan:.3f} ({elapsed:.2f}s to schedule)",
+                    file=sys.stderr,
+                )
+
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for (gi, pi, _), rows in zip(
+                cells, pool.map(_run_cell, [c[2] for c in cells])
+            ):
+                record(gi, pi, rows)
+    else:
+        for gi, pi, args in cells:
+            if scheduler_factory is None:
+                record(gi, pi, _run_cell(args))
+            else:
+                graph, P, bw, ov, scheme_t, val = args
+                cluster = Cluster(num_processors=P, bandwidth=bw, overlap=ov)
+                rows = []
+                for scheme in scheme_t:
+                    t0 = time.perf_counter()
+                    schedule = factory(scheme).schedule(graph, cluster)
+                    elapsed = time.perf_counter() - t0
+                    if val:
+                        validate_schedule(schedule, graph)
+                    rows.append((scheme, schedule.makespan, elapsed))
+                record(gi, pi, rows)
+
+    return ComparisonResult(
+        schemes=list(schemes),
+        proc_counts=list(proc_counts),
+        graph_names=[g.name for g in graphs],
+        makespans=makespans,
+        sched_times=sched_times,
+        overlap=overlap,
+    )

@@ -1,0 +1,90 @@
+"""Persisting experiment results (JSON and CSV).
+
+Figure regenerations are expensive (minutes to hours in ``--full`` mode),
+so their outputs should be storable and re-renderable without re-running:
+:func:`figure_to_dict` / :func:`figure_from_dict` round-trip a
+:class:`~repro.experiments.figures.FigureResult` through plain JSON, and
+:func:`figure_to_csv` emits the per-P series as a spreadsheet-friendly
+table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.figures import FigureResult
+
+__all__ = [
+    "figure_to_dict",
+    "figure_from_dict",
+    "save_figure",
+    "load_figure",
+    "figure_to_csv",
+]
+
+
+def figure_to_dict(result: FigureResult) -> Dict[str, Any]:
+    """JSON-serializable representation of *result*."""
+    return {
+        "figure": result.figure,
+        "title": result.title,
+        "proc_counts": list(result.proc_counts),
+        "series": {k: list(v) for k, v in result.series.items()},
+        "sched_times": (
+            None
+            if result.sched_times is None
+            else {k: list(v) for k, v in result.sched_times.items()}
+        ),
+        "notes": list(result.notes),
+    }
+
+
+def figure_from_dict(doc: Dict[str, Any]) -> FigureResult:
+    """Inverse of :func:`figure_to_dict` (validates series lengths)."""
+    procs = [int(p) for p in doc["proc_counts"]]
+    series = {k: [float(x) for x in v] for k, v in doc["series"].items()}
+    for scheme, values in series.items():
+        if len(values) != len(procs):
+            raise ExperimentError(
+                f"series {scheme!r} has {len(values)} values for "
+                f"{len(procs)} processor counts"
+            )
+    sched = doc.get("sched_times")
+    return FigureResult(
+        figure=doc["figure"],
+        title=doc["title"],
+        proc_counts=procs,
+        series=series,
+        sched_times=(
+            None
+            if sched is None
+            else {k: [float(x) for x in v] for k, v in sched.items()}
+        ),
+        notes=list(doc.get("notes", [])),
+    )
+
+
+def save_figure(result: FigureResult, path: Union[str, Path]) -> None:
+    """Write *result* to *path* as JSON."""
+    Path(path).write_text(json.dumps(figure_to_dict(result), indent=2))
+
+
+def load_figure(path: Union[str, Path]) -> FigureResult:
+    """Read a result written by :func:`save_figure`."""
+    return figure_from_dict(json.loads(Path(path).read_text()))
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """The main series as CSV: one row per P, one column per scheme."""
+    schemes = list(result.series)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["P"] + schemes)
+    for i, p in enumerate(result.proc_counts):
+        writer.writerow([p] + [result.series[s][i] for s in schemes])
+    return buf.getvalue()

@@ -1,0 +1,75 @@
+"""Figure 4 — synthetic graphs, CCR = 0 (communication-free).
+
+Panel (a): Downey ``Amax=64, sigma=1``; panel (b): ``Amax=48, sigma=2``.
+Y-axis: relative performance ``makespan(LoC-MPS) / makespan(scheme)``
+geometric-mean over the graph suite. The paper's observations to reproduce:
+
+* LoC-MPS and iCASLB coincide (communication is free, so the locality
+  machinery is inert);
+* TASK trails badly and degrades with more processors;
+* DATA trails more in panel (b) (poorer task scalability);
+* CPR/CPA trail LoC-MPS by growing margins as P rises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster import FAST_ETHERNET_100MBPS
+from repro.experiments.common import run_comparison
+from repro.experiments.figures import FigureResult
+from repro.schedulers.registry import PAPER_SCHEMES
+from repro.workloads import paper_suite
+
+__all__ = ["run", "main"]
+
+QUICK_PROCS: List[int] = [4, 8, 16, 32]
+FULL_PROCS: List[int] = [4, 8, 16, 32, 64, 128]
+
+
+def run(
+    panel: str = "a",
+    *,
+    quick: bool = True,
+    proc_counts: Optional[Sequence[int]] = None,
+    graph_count: Optional[int] = None,
+    min_tasks: int = 10,
+    max_tasks: int = 50,
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 2006,
+    progress: bool = False,
+    workers: int = 1,
+) -> FigureResult:
+    """Regenerate Fig 4(a) or 4(b)."""
+    if panel not in ("a", "b"):
+        raise ValueError(f"panel must be 'a' or 'b', got {panel!r}")
+    amax, sigma = (64.0, 1.0) if panel == "a" else (48.0, 2.0)
+    procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
+    count = graph_count or (6 if quick else 30)
+    graphs = paper_suite(
+        min_tasks=min_tasks,
+        max_tasks=max_tasks,ccr=0.0, amax=amax, sigma=sigma, count=count, seed=seed)
+    result = run_comparison(
+        graphs,
+        list(schemes or PAPER_SCHEMES),
+        procs,
+        bandwidth=FAST_ETHERNET_100MBPS,
+        progress=progress,
+        workers=workers,
+    )
+    return FigureResult(
+        figure=f"Fig 4({panel})",
+        title=(
+            f"synthetic, CCR=0, Amax={amax:g}, sigma={sigma:g} — relative "
+            f"performance vs LoC-MPS ({count} graphs)"
+        ),
+        proc_counts=procs,
+        series=result.relative_to("locmps"),
+        sched_times={s: result.mean_sched_time(s) for s in result.schemes},
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    from repro.experiments.cli import run_figure_cli
+
+    run_figure_cli("fig4a", argv)

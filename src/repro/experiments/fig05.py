@@ -1,0 +1,72 @@
+"""Figure 5 — synthetic graphs with significant communication.
+
+``Amax=64, sigma=1``; panel (a): CCR = 0.1, panel (b): CCR = 1. The paper's
+observations to reproduce:
+
+* iCASLB decays as CCR grows (it never models communication);
+* CPR and CPA also trail at CCR = 1 (they model communication but schedule
+  without locality awareness);
+* DATA's *relative* standing improves with CCR (it pays no redistribution)
+  yet still loses at large P from imperfect scalability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster import FAST_ETHERNET_100MBPS
+from repro.experiments.common import run_comparison
+from repro.experiments.fig04 import FULL_PROCS, QUICK_PROCS
+from repro.experiments.figures import FigureResult
+from repro.schedulers.registry import PAPER_SCHEMES
+from repro.workloads import paper_suite
+
+__all__ = ["run", "main"]
+
+
+def run(
+    panel: str = "a",
+    *,
+    quick: bool = True,
+    proc_counts: Optional[Sequence[int]] = None,
+    graph_count: Optional[int] = None,
+    min_tasks: int = 10,
+    max_tasks: int = 50,
+    schemes: Optional[Sequence[str]] = None,
+    seed: int = 2006,
+    progress: bool = False,
+    workers: int = 1,
+) -> FigureResult:
+    """Regenerate Fig 5(a) (CCR=0.1) or 5(b) (CCR=1)."""
+    if panel not in ("a", "b"):
+        raise ValueError(f"panel must be 'a' or 'b', got {panel!r}")
+    ccr = 0.1 if panel == "a" else 1.0
+    procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
+    count = graph_count or (6 if quick else 30)
+    graphs = paper_suite(
+        min_tasks=min_tasks,
+        max_tasks=max_tasks,ccr=ccr, amax=64.0, sigma=1.0, count=count, seed=seed)
+    result = run_comparison(
+        graphs,
+        list(schemes or PAPER_SCHEMES),
+        procs,
+        bandwidth=FAST_ETHERNET_100MBPS,
+        progress=progress,
+        workers=workers,
+    )
+    return FigureResult(
+        figure=f"Fig 5({panel})",
+        title=(
+            f"synthetic, CCR={ccr:g}, Amax=64, sigma=1 — relative "
+            f"performance vs LoC-MPS ({count} graphs)"
+        ),
+        proc_counts=procs,
+        series=result.relative_to("locmps"),
+        sched_times={s: result.mean_sched_time(s) for s in result.schemes},
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    from repro.experiments.cli import run_figure_cli
+
+    run_figure_cli("fig5a", argv)

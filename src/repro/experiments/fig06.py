@@ -1,0 +1,64 @@
+"""Figure 6 — the backfill ablation.
+
+LoC-MPS with its full backfill scheduler versus the latest-free-time
+variant, on synthetic graphs with CCR=0.1, ``Amax=48, sigma=2``. The paper
+reports the no-backfill scheme is up to ~8% worse in makespan but has lower
+scheduling overheads — both series are produced here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster import FAST_ETHERNET_100MBPS
+from repro.experiments.common import run_comparison
+from repro.experiments.fig04 import FULL_PROCS, QUICK_PROCS
+from repro.experiments.figures import FigureResult
+from repro.workloads import paper_suite
+
+__all__ = ["run", "main"]
+
+SCHEMES = ["locmps", "locmps-nobackfill"]
+
+
+def run(
+    *,
+    quick: bool = True,
+    proc_counts: Optional[Sequence[int]] = None,
+    graph_count: Optional[int] = None,
+    min_tasks: int = 10,
+    max_tasks: int = 50,
+    seed: int = 2006,
+    progress: bool = False,
+    workers: int = 1,
+) -> FigureResult:
+    """Regenerate Fig 6 (both panels: performance and scheduling time)."""
+    procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
+    count = graph_count or (6 if quick else 30)
+    graphs = paper_suite(
+        min_tasks=min_tasks,
+        max_tasks=max_tasks,ccr=0.1, amax=48.0, sigma=2.0, count=count, seed=seed)
+    result = run_comparison(
+        graphs,
+        SCHEMES,
+        procs,
+        bandwidth=FAST_ETHERNET_100MBPS,
+        progress=progress,
+        workers=workers,
+    )
+    return FigureResult(
+        figure="Fig 6",
+        title=(
+            f"backfill ablation, CCR=0.1, Amax=48, sigma=2 — relative "
+            f"performance vs LoC-MPS-with-backfill ({count} graphs)"
+        ),
+        proc_counts=procs,
+        series=result.relative_to("locmps"),
+        sched_times={s: result.mean_sched_time(s) for s in SCHEMES},
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    from repro.experiments.cli import run_figure_cli
+
+    run_figure_cli("fig6", argv)

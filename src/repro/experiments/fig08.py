@@ -1,0 +1,72 @@
+"""Figure 8 — CCSD T1 (Tensor Contraction Engine application).
+
+Panel (a): complete overlap of computation and communication; panel (b): no
+overlap. The Myrinet testbed bandwidth applies. Paper observations to
+reproduce:
+
+* DATA performs poorly (the T1 DAG has many small non-scalable tasks);
+* LoC-MPS leads iCASLB/CPR/CPA, with a larger margin in panel (b) where
+  un-hidden communication punishes locality-unaware schemes;
+* DATA's relative standing improves in panel (b) (it has no communication
+  at all).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster import MYRINET_2GBPS
+from repro.experiments.common import run_comparison
+from repro.experiments.figures import FigureResult
+from repro.schedulers.registry import PAPER_SCHEMES
+from repro.workloads import ccsd_t1_graph
+
+__all__ = ["run", "main"]
+
+QUICK_PROCS: List[int] = [2, 4, 8, 16, 32]
+FULL_PROCS: List[int] = [2, 4, 8, 16, 32, 64, 128]
+
+
+def run(
+    panel: str = "a",
+    *,
+    quick: bool = True,
+    proc_counts: Optional[Sequence[int]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    o: int = 40,
+    v: int = 160,
+    progress: bool = False,
+    workers: int = 1,
+) -> FigureResult:
+    """Regenerate Fig 8(a) (overlap) or 8(b) (no overlap)."""
+    if panel not in ("a", "b"):
+        raise ValueError(f"panel must be 'a' or 'b', got {panel!r}")
+    overlap = panel == "a"
+    procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
+    graph = ccsd_t1_graph(o=o, v=v)
+    result = run_comparison(
+        [graph],
+        list(schemes or PAPER_SCHEMES),
+        procs,
+        bandwidth=MYRINET_2GBPS,
+        overlap=overlap,
+        progress=progress,
+        workers=workers,
+    )
+    return FigureResult(
+        figure=f"Fig 8({panel})",
+        title=(
+            f"CCSD T1 (o={o}, v={v}), "
+            f"{'overlap' if overlap else 'no overlap'} of comp/comm — "
+            f"relative performance vs LoC-MPS"
+        ),
+        proc_counts=procs,
+        series=result.relative_to("locmps"),
+        sched_times={s: result.mean_sched_time(s) for s in result.schemes},
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    from repro.experiments.cli import run_figure_cli
+
+    run_figure_cli("fig8a", argv)

@@ -1,0 +1,58 @@
+"""Figure 9 — Strassen matrix multiplication.
+
+Panel (a): 1024 x 1024; panel (b): 4096 x 4096. Paper observations to
+reproduce: DATA trails badly at the small size (poorly scaling half-size
+tasks) and recovers at the large size; LoC-MPS leads CPR/CPA/TASK/DATA
+throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster import MYRINET_2GBPS
+from repro.experiments.common import run_comparison
+from repro.experiments.fig08 import FULL_PROCS, QUICK_PROCS
+from repro.experiments.figures import FigureResult
+from repro.schedulers.registry import PAPER_SCHEMES
+from repro.workloads import strassen_graph
+
+__all__ = ["run", "main"]
+
+
+def run(
+    panel: str = "a",
+    *,
+    quick: bool = True,
+    proc_counts: Optional[Sequence[int]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    progress: bool = False,
+    workers: int = 1,
+) -> FigureResult:
+    """Regenerate Fig 9(a) (1024^2) or 9(b) (4096^2)."""
+    if panel not in ("a", "b"):
+        raise ValueError(f"panel must be 'a' or 'b', got {panel!r}")
+    n = 1024 if panel == "a" else 4096
+    procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
+    graph = strassen_graph(n)
+    result = run_comparison(
+        [graph],
+        list(schemes or PAPER_SCHEMES),
+        procs,
+        bandwidth=MYRINET_2GBPS,
+        progress=progress,
+        workers=workers,
+    )
+    return FigureResult(
+        figure=f"Fig 9({panel})",
+        title=f"Strassen {n}x{n} — relative performance vs LoC-MPS",
+        proc_counts=procs,
+        series=result.relative_to("locmps"),
+        sched_times={s: result.mean_sched_time(s) for s in result.schemes},
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    from repro.experiments.cli import run_figure_cli
+
+    run_figure_cli("fig9a", argv)

@@ -1,0 +1,62 @@
+"""Figure 10 — scheduling times of the application experiments.
+
+Panel (a): CCSD T1; panel (b): Strassen. The paper's point is magnitude:
+LoC-MPS is the most expensive scheme, CPR next, CPA/TASK/DATA cheap — yet
+all scheduling times stay well below the application makespans. Absolute
+values here are Python wall-clock (the paper's implementation was compiled
+code), so the *ordering* is the reproduced quantity; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster import MYRINET_2GBPS
+from repro.experiments.common import run_comparison
+from repro.experiments.fig08 import FULL_PROCS, QUICK_PROCS
+from repro.experiments.figures import FigureResult
+from repro.schedulers.registry import PAPER_SCHEMES
+from repro.workloads import ccsd_t1_graph, strassen_graph
+
+__all__ = ["run", "main"]
+
+
+def run(
+    panel: str = "a",
+    *,
+    quick: bool = True,
+    proc_counts: Optional[Sequence[int]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    progress: bool = False,
+    workers: int = 1,
+) -> FigureResult:
+    """Regenerate Fig 10(a) (CCSD T1 times) or 10(b) (Strassen times)."""
+    if panel not in ("a", "b"):
+        raise ValueError(f"panel must be 'a' or 'b', got {panel!r}")
+    graph = ccsd_t1_graph() if panel == "a" else strassen_graph(1024)
+    procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
+    result = run_comparison(
+        [graph],
+        list(schemes or PAPER_SCHEMES),
+        procs,
+        bandwidth=MYRINET_2GBPS,
+        progress=progress,
+        workers=workers,
+    )
+    makespans = {s: result.mean_makespan(s) for s in result.schemes}
+    return FigureResult(
+        figure=f"Fig 10({panel})",
+        title=(
+            f"{graph.name} — application makespans (table 1) and scheduler "
+            f"wall-clock times (table 2)"
+        ),
+        proc_counts=procs,
+        series=makespans,
+        sched_times={s: result.mean_sched_time(s) for s in result.schemes},
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    from repro.experiments.cli import run_figure_cli
+
+    run_figure_cli("fig10", argv)

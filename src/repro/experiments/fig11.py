@@ -1,0 +1,93 @@
+"""Figure 11 — "actual execution" of CCSD T1.
+
+The paper executes every scheme's schedule on a real Itanium-2/Myrinet
+cluster. Without that hardware, this experiment replays each schedule
+through the discrete-event engine with the stricter per-node single-port
+communication rule and multiplicative lognormal noise on task durations and
+network bandwidth (see DESIGN.md substitutions). The reproduced claim is
+that the *simulation trends carry over to execution*: the relative ordering
+of the schemes under noisy replay matches Fig 8(a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import Cluster, MYRINET_2GBPS
+from repro.experiments.figures import FigureResult
+from repro.schedulers import get_scheduler
+from repro.sim import ExecutionEngine, LognormalNoise
+from repro.utils.mathx import geo_mean
+from repro.workloads import ccsd_t1_graph
+from repro.schedulers.registry import PAPER_SCHEMES
+
+__all__ = ["run", "main"]
+
+QUICK_PROCS: List[int] = [2, 4, 8, 16, 32]
+FULL_PROCS: List[int] = [2, 4, 8, 16, 32, 64, 128]
+
+
+def run(
+    *,
+    quick: bool = True,
+    proc_counts: Optional[Sequence[int]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    trials: int = 5,
+    sigma_compute: float = 0.08,
+    sigma_network: float = 0.15,
+    seed: int = 7,
+    o: int = 40,
+    v: int = 160,
+    progress: bool = False,
+) -> FigureResult:
+    """Regenerate Fig 11: noisy replay of every scheme's CCSD-T1 schedule."""
+    procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
+    scheme_list = list(schemes or PAPER_SCHEMES)
+    graph = ccsd_t1_graph(o=o, v=v)
+    noise = LognormalNoise(sigma_compute, sigma_network)
+
+    achieved: Dict[str, List[float]] = {s: [] for s in scheme_list}
+    for P in procs:
+        cluster = Cluster(num_processors=P, bandwidth=MYRINET_2GBPS)
+        for scheme in scheme_list:
+            schedule = get_scheduler(scheme).schedule(graph, cluster)
+            runs = []
+            for trial in range(trials):
+                engine = ExecutionEngine(
+                    graph,
+                    cluster,
+                    noise=noise,
+                    seed=seed + 1000 * trial,
+                    use_single_port=True,
+                )
+                report = engine.execute(schedule, record_events=False)
+                runs.append(report.makespan)
+            achieved[scheme].append(geo_mean(runs))
+
+    relative = {
+        s: [achieved["locmps"][i] / achieved[s][i] for i in range(len(procs))]
+        for s in scheme_list
+    }
+    return FigureResult(
+        figure="Fig 11",
+        title=(
+            f"CCSD T1 'actual execution' (noisy single-port replay, "
+            f"{trials} trials) — relative achieved performance vs LoC-MPS"
+        ),
+        proc_counts=procs,
+        series=relative,
+        notes=[
+            "achieved makespans (geo-mean over trials): "
+            + "; ".join(
+                f"{s}: "
+                + ", ".join(f"{m:.2f}" for m in achieved[s])
+                for s in scheme_list
+            )
+        ],
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    from repro.experiments.cli import run_figure_cli
+
+    run_figure_cli("fig11", argv)

@@ -1,0 +1,46 @@
+"""Result container shared by the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_series_table
+
+__all__ = ["FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """One regenerated paper figure: a labelled family of per-P series."""
+
+    figure: str
+    title: str
+    proc_counts: List[int]
+    #: the paper's y-axis: relative performance vs LoC-MPS (or whatever the
+    #: figure plots); ``{scheme: [value per P]}``
+    series: Dict[str, List[float]]
+    #: optional second panel (e.g. scheduling times for Figs 6b/10)
+    sched_times: Optional[Dict[str, List[float]]] = None
+    notes: List[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        """Render the figure's data as aligned text tables."""
+        parts = [
+            format_series_table(
+                f"{self.figure}: {self.title}",
+                self.proc_counts,
+                self.series,
+            )
+        ]
+        if self.sched_times is not None:
+            parts.append(
+                format_series_table(
+                    f"{self.figure} (scheduling times, seconds)",
+                    self.proc_counts,
+                    self.sched_times,
+                    value_format="{:.3g}",
+                )
+            )
+        parts.extend(self.notes)
+        return "\n\n".join(parts)

@@ -1,0 +1,38 @@
+"""Terminal rendering of experiment series (the paper's plot data as text)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_series_table"]
+
+
+def format_series_table(
+    title: str,
+    proc_counts: Sequence[int],
+    series: Dict[str, List[float]],
+    *,
+    value_format: str = "{:.3f}",
+    row_label: str = "P",
+    note: Optional[str] = None,
+) -> str:
+    """Render ``{scheme: [value per P]}`` as an aligned text table.
+
+    One row per processor count, one column per scheme — the same data the
+    paper plots, printable by benchmarks and the CLI.
+    """
+    schemes = list(series)
+    widths = {s: max(len(s), 8) for s in schemes}
+    header = f"{row_label:>5} | " + "  ".join(
+        f"{s:>{widths[s]}}" for s in schemes
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for i, p in enumerate(proc_counts):
+        cells = "  ".join(
+            f"{value_format.format(series[s][i]):>{widths[s]}}" for s in schemes
+        )
+        lines.append(f"{p:>5} | {cells}")
+    if note:
+        lines.append("-" * len(header))
+        lines.append(note)
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Bandwidth sensitivity: how much does locality consciousness buy?
+
+An extension experiment the paper implies but never plots: hold the
+workload fixed and sweep the interconnect bandwidth. As the network slows,
+redistribution dominates and the gap between locality-aware scheduling
+(LoC-MPS) and schemes that ignore placement (iCASLB) or pay full
+redistribution (CPR/CPA) must widen, while DATA (zero redistribution)
+becomes the natural competitor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import Cluster
+from repro.exceptions import ExperimentError
+from repro.graph import TaskGraph
+from repro.schedule import validate_schedule
+from repro.schedulers import get_scheduler
+from repro.experiments.figures import FigureResult
+from repro.workloads import ccsd_t1_graph
+
+__all__ = ["run_bandwidth_sensitivity"]
+
+#: default sweep, bytes/second: 2 Gbps Myrinet down to 100 Mbps ethernet
+DEFAULT_BANDWIDTHS: List[float] = [250e6, 125e6, 50e6, 12.5e6]
+
+
+def run_bandwidth_sensitivity(
+    graph: Optional[TaskGraph] = None,
+    *,
+    num_processors: int = 16,
+    bandwidths: Optional[Sequence[float]] = None,
+    schemes: Sequence[str] = ("locmps", "icaslb", "cpr", "cpa", "data"),
+    validate: bool = True,
+) -> FigureResult:
+    """Relative performance vs LoC-MPS as the network slows down.
+
+    The x-axis of the returned result is the bandwidth index (the
+    ``proc_counts`` field carries MB/s values for table rendering).
+    """
+    graph = graph or ccsd_t1_graph()
+    bws = list(DEFAULT_BANDWIDTHS if bandwidths is None else bandwidths)
+    if not bws:
+        raise ExperimentError("need at least one bandwidth")
+
+    makespans: Dict[str, List[float]] = {s: [] for s in schemes}
+    for bw in bws:
+        cluster = Cluster(num_processors=num_processors, bandwidth=bw)
+        for scheme in schemes:
+            schedule = get_scheduler(scheme).schedule(graph, cluster)
+            if validate:
+                validate_schedule(schedule, graph)
+            makespans[scheme].append(schedule.makespan)
+
+    relative = {
+        s: [makespans["locmps"][i] / makespans[s][i] for i in range(len(bws))]
+        for s in schemes
+    }
+    return FigureResult(
+        figure="Sensitivity",
+        title=(
+            f"{graph.name} on P={num_processors} — relative performance vs "
+            f"LoC-MPS as bandwidth shrinks (rows are MB/s)"
+        ),
+        proc_counts=[int(bw / 1e6) for bw in bws],
+        series=relative,
+        notes=[
+            "makespans (s): "
+            + "; ".join(
+                f"{s}: " + ", ".join(f"{m:.2f}" for m in makespans[s])
+                for s in schemes
+            )
+        ],
+    )

@@ -1,0 +1,37 @@
+"""Task-graph substrate: malleable-task DAGs and the operations on them.
+
+* :class:`TaskGraph` — the application model: vertices are malleable parallel
+  tasks with execution-time profiles, edges carry inter-task data volumes.
+* :mod:`repro.graph.dag_ops` — top/bottom levels, critical paths, and
+  concurrency sets (the DFS-on-``G``/``G^T`` construction from the paper).
+* :class:`ScheduleDAG` — the schedule-DAG ``G'``: the application DAG plus
+  zero-weight *pseudo-edges* recording resource-induced serializations.
+"""
+
+from repro.graph.taskgraph import Task, TaskGraph
+from repro.graph.dag_ops import (
+    top_levels,
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    concurrent_tasks,
+    concurrency_ratio,
+)
+from repro.graph.pseudo import ScheduleDAG
+from repro.graph.serialization import graph_to_dict, graph_from_dict, save_graph, load_graph
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "top_levels",
+    "bottom_levels",
+    "critical_path",
+    "critical_path_length",
+    "concurrent_tasks",
+    "concurrency_ratio",
+    "ScheduleDAG",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+]

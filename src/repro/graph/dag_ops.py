@@ -1,0 +1,162 @@
+"""DAG analyses used by the allocation loops.
+
+All functions operate on a :class:`networkx.DiGraph` plus caller-supplied
+weight callables, so the same code serves both the application DAG ``G``
+(edge weights from the bandwidth model) and the schedule-DAG ``G'`` (actual
+scheduled communication times, zero on pseudo-edges).
+
+Definitions follow the paper's Section II:
+
+* ``topL(v)``   — longest path length from any source to ``v``, *excluding*
+  ``v``'s own weight.
+* ``bottomL(v)``— longest path length from ``v`` to any sink, *including*
+  ``v``'s weight.
+* critical path — any maximal-length source-to-sink path; every vertex with
+  maximal ``topL(v) + bottomL(v)`` lies on one.
+* ``cG(t)``     — the maximal set of tasks with no path to or from ``t``
+  (computed via DFS on ``G`` and on its transpose).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.exceptions import CycleError
+
+__all__ = [
+    "top_levels",
+    "bottom_levels",
+    "critical_path",
+    "critical_path_length",
+    "concurrent_tasks",
+    "concurrency_ratio",
+]
+
+VertexWeight = Callable[[str], float]
+EdgeWeight = Callable[[str, str], float]
+
+
+def _check_dag(g: nx.DiGraph) -> None:
+    if not nx.is_directed_acyclic_graph(g):
+        raise CycleError("graph contains a cycle; level analyses need a DAG")
+
+
+def top_levels(
+    g: nx.DiGraph, vertex_weight: VertexWeight, edge_weight: EdgeWeight
+) -> Dict[str, float]:
+    """``topL(v)`` for every vertex (0 for sources)."""
+    _check_dag(g)
+    levels: Dict[str, float] = {}
+    for v in nx.topological_sort(g):
+        best = 0.0
+        for u in g.predecessors(v):
+            cand = levels[u] + vertex_weight(u) + edge_weight(u, v)
+            if cand > best:
+                best = cand
+        levels[v] = best
+    return levels
+
+
+def bottom_levels(
+    g: nx.DiGraph, vertex_weight: VertexWeight, edge_weight: EdgeWeight
+) -> Dict[str, float]:
+    """``bottomL(v)`` for every vertex (own weight for sinks)."""
+    _check_dag(g)
+    levels: Dict[str, float] = {}
+    for v in reversed(list(nx.topological_sort(g))):
+        best = 0.0
+        for w in g.successors(v):
+            cand = edge_weight(v, w) + levels[w]
+            if cand > best:
+                best = cand
+        levels[v] = vertex_weight(v) + best
+    return levels
+
+
+def critical_path(
+    g: nx.DiGraph, vertex_weight: VertexWeight, edge_weight: EdgeWeight
+) -> Tuple[float, List[str]]:
+    """``(length, vertices)`` of one critical (longest) path of the DAG.
+
+    Deterministic: among equally long extensions the lexicographically
+    smallest successor is chosen, so repeated calls on the same graph return
+    the same path (important for the iterative allocation loops, which must
+    not oscillate between tie-broken paths).
+    """
+    _check_dag(g)
+    if g.number_of_nodes() == 0:
+        return 0.0, []
+    bottoms = bottom_levels(g, vertex_weight, edge_weight)
+    # Start at the source-most vertex with maximal bottom level.
+    start = min(
+        (v for v in g.nodes),
+        key=lambda v: (-bottoms[v], v),
+    )
+    path = [start]
+    cur = start
+    while True:
+        succs = list(g.successors(cur))
+        if not succs:
+            break
+        # The true continuation satisfies
+        # bottomL(cur) == wt(cur) + edge(cur, nxt) + bottomL(nxt).
+        target = bottoms[cur] - vertex_weight(cur)
+        best_next = None
+        for w in sorted(succs):
+            if abs(edge_weight(cur, w) + bottoms[w] - target) <= 1e-9 * max(
+                1.0, abs(target)
+            ) + 1e-12:
+                best_next = w
+                break
+        if best_next is None:
+            # Numerical slack: fall back to the max-valued successor.
+            best_next = max(
+                succs, key=lambda w: (edge_weight(cur, w) + bottoms[w], w)
+            )
+            if edge_weight(cur, best_next) + bottoms[best_next] <= 0:
+                break
+        path.append(best_next)
+        cur = best_next
+    return bottoms[start], path
+
+
+def critical_path_length(
+    g: nx.DiGraph, vertex_weight: VertexWeight, edge_weight: EdgeWeight
+) -> float:
+    """Length of the critical path only (cheaper than materializing it)."""
+    _check_dag(g)
+    if g.number_of_nodes() == 0:
+        return 0.0
+    bottoms = bottom_levels(g, vertex_weight, edge_weight)
+    return max(bottoms.values())
+
+
+def concurrent_tasks(g: nx.DiGraph, t: str) -> Set[str]:
+    """``cG(t)``: tasks with no directed path to or from *t*.
+
+    Implemented exactly as the paper describes: a DFS from *t* on ``G``
+    collects descendants, a DFS on ``G^T`` collects ancestors, and the
+    complement (minus *t* itself) is the maximal concurrent set.
+    """
+    if t not in g:
+        raise KeyError(t)
+    descendants = nx.descendants(g, t)
+    ancestors = nx.ancestors(g, t)
+    return set(g.nodes) - descendants - ancestors - {t}
+
+
+def concurrency_ratio(
+    g: nx.DiGraph, t: str, sequential_time: Callable[[str], float]
+) -> float:
+    """``cr(t) = sum_{t' in cG(t)} et(t',1) / et(t,1)``.
+
+    Measures how much potentially concurrent work exists relative to the
+    task's own work; the LoC-MPS candidate selection prefers low values
+    (widening such a task serializes little else).
+    """
+    own = sequential_time(t)
+    if own <= 0:
+        raise ValueError(f"task {t!r} has non-positive sequential time {own!r}")
+    return sum(sequential_time(x) for x in concurrent_tasks(g, t)) / own

@@ -1,0 +1,135 @@
+"""The schedule-DAG ``G'``: application DAG plus resource pseudo-edges.
+
+After LoCBS places every task, resource-induced serializations (task ``b``
+could only start when ``a`` released processors, although no data flows
+between them) are recorded as zero-weight *pseudo-edges*. The critical path
+of this augmented DAG is the longest chain in the actual schedule, and is
+what the LoC-MPS allocation loop shortens each iteration (paper Fig 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import networkx as nx
+
+from repro.exceptions import CycleError, GraphError
+from repro.graph.dag_ops import critical_path as _critical_path
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["ScheduleDAG"]
+
+
+class ScheduleDAG:
+    """``G'`` — the scheduled DAG with pseudo-edges.
+
+    Parameters
+    ----------
+    base:
+        The application task graph ``G``.
+    vertex_weights:
+        Scheduled execution duration of each task (``et(t, np(t))``).
+    edge_weights:
+        Actual scheduled communication time of each *real* edge of ``G``.
+        Pseudo-edges always weigh zero.
+    """
+
+    def __init__(
+        self,
+        base: TaskGraph,
+        vertex_weights: Mapping[str, float],
+        edge_weights: Mapping[Tuple[str, str], float],
+    ) -> None:
+        missing = set(base.tasks()) - set(vertex_weights)
+        if missing:
+            raise GraphError(f"vertex_weights missing tasks: {sorted(missing)!r}")
+        self.base = base
+        self._vw: Dict[str, float] = {t: float(vertex_weights[t]) for t in base.tasks()}
+        self._g = nx.DiGraph()
+        self._g.add_nodes_from(base.tasks())
+        for u, v in base.edges():
+            w = float(edge_weights.get((u, v), 0.0))
+            if w < 0:
+                raise GraphError(f"negative edge weight on {u!r} -> {v!r}: {w}")
+            self._g.add_edge(u, v, weight=w, pseudo=False)
+
+    # -- construction ------------------------------------------------------------
+
+    def add_pseudo_edge(self, src: str, dst: str) -> None:
+        """Record that *dst* waited on resources released by *src*.
+
+        A pseudo-edge that parallels an existing real edge is a no-op (the
+        real dependence already orders the pair). Cycles are rejected.
+        """
+        if src not in self._g or dst not in self._g:
+            raise GraphError(f"pseudo-edge endpoints unknown: {src!r}, {dst!r}")
+        if src == dst:
+            raise CycleError(f"pseudo self-loop on {src!r}")
+        if self._g.has_edge(src, dst):
+            return
+        if nx.has_path(self._g, dst, src):
+            raise CycleError(f"pseudo-edge {src!r} -> {dst!r} would create a cycle")
+        self._g.add_edge(src, dst, weight=0.0, pseudo=True)
+
+    # -- weights -----------------------------------------------------------------
+
+    def vertex_weight(self, t: str) -> float:
+        return self._vw[t]
+
+    def edge_weight(self, u: str, v: str) -> float:
+        return self._g.edges[u, v]["weight"]
+
+    def is_pseudo(self, u: str, v: str) -> bool:
+        return self._g.edges[u, v]["pseudo"]
+
+    def pseudo_edges(self) -> List[Tuple[str, str]]:
+        return [
+            (u, v) for u, v, d in self._g.edges(data=True) if d["pseudo"]
+        ]
+
+    def real_edges(self) -> List[Tuple[str, str]]:
+        return [
+            (u, v) for u, v, d in self._g.edges(data=True) if not d["pseudo"]
+        ]
+
+    def nx_graph(self) -> nx.DiGraph:
+        """Underlying graph (treat as read-only)."""
+        return self._g
+
+    # -- critical-path analysis ----------------------------------------------------
+
+    def critical_path(self) -> Tuple[float, List[str]]:
+        """``(length, vertices)`` of the schedule's critical path."""
+        return _critical_path(self._g, self.vertex_weight, self.edge_weight)
+
+    def path_costs(self, path: Iterable[str]) -> Tuple[float, float]:
+        """``(Tcomp, Tcomm)`` decomposition of a vertex path.
+
+        ``Tcomp`` sums vertex weights, ``Tcomm`` sums the weights of the
+        edges between consecutive path vertices (pseudo-edges contribute 0).
+        """
+        verts = list(path)
+        tcomp = sum(self._vw[v] for v in verts)
+        tcomm = 0.0
+        for u, v in zip(verts, verts[1:]):
+            if not self._g.has_edge(u, v):
+                raise GraphError(f"path step {u!r} -> {v!r} is not an edge of G'")
+            tcomm += self._g.edges[u, v]["weight"]
+        return tcomp, tcomm
+
+    def real_edges_on_path(self, path: Iterable[str]) -> List[Tuple[str, str, float]]:
+        """Non-pseudo edges between consecutive path vertices, with weights."""
+        verts = list(path)
+        out: List[Tuple[str, str, float]] = []
+        for u, v in zip(verts, verts[1:]):
+            data = self._g.edges[u, v]
+            if not data["pseudo"]:
+                out.append((u, v, data["weight"]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ScheduleDAG(tasks={self._g.number_of_nodes()}, "
+            f"real_edges={len(self.real_edges())}, "
+            f"pseudo_edges={len(self.pseudo_edges())})"
+        )

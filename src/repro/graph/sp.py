@@ -1,0 +1,103 @@
+"""Series-parallel decomposition of task DAGs.
+
+Prasanna & Musicus's optimal allocations (see
+:mod:`repro.schedulers.prasanna`) apply to series-parallel task
+structures. This module recognizes a useful SP subclass constructively:
+
+* a *series cut* is a partition ``(A, B)`` with every vertex of ``A``
+  preceding every vertex of ``B``; splitting at (minimal) series cuts
+  yields a series composition — single-vertex cut segments are the
+  classic "series points";
+* a component with no series cut splits into weakly-connected components
+  that execute independently — a parallel composition;
+* recursion bottoms out at single vertices.
+
+The decomposition is *sound*: when :func:`sp_decompose` returns an
+expression, the expression's series/parallel structure is implied by the
+graph's precedence constraints. Graphs whose residual components have no
+series cut and are not independent return ``None`` — they are not
+decomposable by this scheme (e.g. the crossing "N" pattern).
+
+Chains, diamonds, fork-joins, parallel-to-parallel joins, the Fig 1/2
+examples, and the FFT workload decompose exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+import networkx as nx
+
+from repro.graph.taskgraph import TaskGraph
+from repro.schedulers.prasanna import SPNode, leaf, parallel, series
+
+__all__ = ["sp_decompose"]
+
+
+def sp_decompose(graph: TaskGraph) -> Optional[SPNode]:
+    """Decompose *graph* into an SP expression, or ``None`` if not SP-shaped.
+
+    Leaf works are the tasks' sequential times.
+    """
+    g = graph.nx_graph()
+    if graph.num_tasks == 0:
+        return None
+    works = {t: graph.sequential_time(t) for t in graph.tasks()}
+    return _decompose(g, frozenset(graph.tasks()), works)
+
+
+def _decompose(
+    g: nx.DiGraph, vertices: FrozenSet[str], works: Dict[str, float]
+) -> Optional[SPNode]:
+    if len(vertices) == 1:
+        (v,) = vertices
+        return leaf(v, works[v])
+
+    sub = g.subgraph(vertices)
+
+    # Parallel split: independent weakly-connected components.
+    components = [frozenset(c) for c in nx.weakly_connected_components(sub)]
+    if len(components) > 1:
+        children = []
+        for comp in sorted(components, key=lambda c: min(c)):
+            child = _decompose(g, comp, works)
+            if child is None:
+                return None
+            children.append(child)
+        return parallel(*children)
+
+    # Series splits: partitions (A, B) with every vertex of A preceding
+    # every vertex of B. If such a cut of size k exists, A is necessarily
+    # the k vertices with the fewest ancestors (members of A have all
+    # ancestors inside A; members of B have at least the k ancestors of A),
+    # so sorting by ancestor count enumerates every candidate.
+    order = list(nx.topological_sort(sub))
+    ancestors: Dict[str, Set[str]] = {}
+    for v in order:
+        anc: Set[str] = set()
+        for u in sub.predecessors(v):
+            anc |= ancestors[u]
+            anc.add(u)
+        ancestors[v] = anc
+
+    ranked = sorted(vertices, key=lambda v: (len(ancestors[v]), v))
+    n = len(ranked)
+    segments: List[SPNode] = []
+    start = 0
+    prefix: Set[str] = set()
+    for k in range(1, n):
+        prefix.add(ranked[k - 1])
+        rest = ranked[k:]
+        if all(len(ancestors[b] & prefix) == k for b in rest):
+            child = _decompose(g, frozenset(ranked[start:k]), works)
+            if child is None:
+                return None
+            segments.append(child)
+            start = k
+    if start == 0:
+        return None  # irreducible (e.g. a crossing bipartite pattern)
+    tail = _decompose(g, frozenset(ranked[start:]), works)
+    if tail is None:
+        return None
+    segments.append(tail)
+    return segments[0] if len(segments) == 1 else series(*segments)

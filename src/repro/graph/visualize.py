@@ -1,0 +1,47 @@
+"""Rendering helpers: Graphviz DOT export and terminal summaries."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["to_dot", "ascii_summary"]
+
+
+def to_dot(graph: TaskGraph, *, include_volumes: bool = True) -> str:
+    """Render *graph* as Graphviz DOT source.
+
+    Vertex labels show sequential times; edge labels show data volumes in
+    megabytes when *include_volumes* is set.
+    """
+    lines: List[str] = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for name in graph.tasks():
+        et1 = graph.sequential_time(name)
+        lines.append(f'  "{name}" [label="{name}\\net(1)={et1:g}"];')
+    for u, v in graph.edges():
+        if include_volumes:
+            mb = graph.data_volume(u, v) / 1e6
+            lines.append(f'  "{u}" -> "{v}" [label="{mb:.2f} MB"];')
+        else:
+            lines.append(f'  "{u}" -> "{v}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_summary(graph: TaskGraph, *, max_rows: Optional[int] = 20) -> str:
+    """A compact terminal table describing the graph."""
+    rows = [
+        f"TaskGraph {graph.name!r}: {graph.num_tasks} tasks, "
+        f"{graph.num_edges} edges, total work {graph.total_sequential_work():.1f}"
+    ]
+    names = graph.tasks()
+    shown = names if max_rows is None else names[:max_rows]
+    for name in shown:
+        preds = ",".join(graph.predecessors(name)) or "-"
+        rows.append(
+            f"  {name:<16} et(1)={graph.sequential_time(name):>8.2f}  preds: {preds}"
+        )
+    if max_rows is not None and len(names) > max_rows:
+        rows.append(f"  ... ({len(names) - max_rows} more tasks)")
+    return "\n".join(rows)

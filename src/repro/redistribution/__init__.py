@@ -1,0 +1,53 @@
+"""Block-cyclic data layouts and redistribution cost model.
+
+The paper assumes every task distributes its output block-cyclically across
+its processor set. Redistribution between a producer on processor set ``S``
+and a consumer on processor set ``T`` follows the fast runtime block-cyclic
+redistribution of Prylli & Tourancheau (JPDC 1997): the communication
+pattern repeats with period ``lcm(|S|, |T|)`` blocks, from which the exact
+per-processor-pair volume matrix follows. Bytes whose source and destination
+processor coincide never cross the network — that is the *data locality*
+LoC-MPS exploits.
+"""
+
+from repro.redistribution.layout import BlockCyclicLayout
+from repro.redistribution.blockcyclic import (
+    volume_matrix,
+    local_volume,
+    nonlocal_volume,
+    locality_fraction,
+)
+from repro.redistribution.cost import (
+    RedistributionModel,
+    estimate_edge_cost,
+)
+from repro.redistribution.layout2d import (
+    ProcessorGrid,
+    locality_fraction_2d,
+    volume_matrix_2d,
+)
+from repro.redistribution.message_schedule import (
+    Message,
+    MessageSchedule,
+    Phase,
+    build_phase_schedule,
+    phased_transfer_time,
+)
+
+__all__ = [
+    "BlockCyclicLayout",
+    "volume_matrix",
+    "local_volume",
+    "nonlocal_volume",
+    "locality_fraction",
+    "RedistributionModel",
+    "estimate_edge_cost",
+    "ProcessorGrid",
+    "volume_matrix_2d",
+    "locality_fraction_2d",
+    "Message",
+    "Phase",
+    "MessageSchedule",
+    "build_phase_schedule",
+    "phased_transfer_time",
+]

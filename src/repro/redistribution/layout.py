@@ -1,0 +1,59 @@
+"""Block-cyclic data layouts over ordered processor sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import RedistributionError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BlockCyclicLayout"]
+
+
+@dataclass(frozen=True)
+class BlockCyclicLayout:
+    """A one-dimensional block-cyclic distribution.
+
+    Data is split into equal blocks dealt round-robin to the *ordered*
+    processor tuple: block ``i`` lives on ``processors[i % len(processors)]``.
+    The ordering matters — two layouts over the same set but different orders
+    redistribute differently — so processors are stored as a tuple.
+    """
+
+    processors: Tuple[int, ...]
+    block_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise RedistributionError("layout needs at least one processor")
+        if len(set(self.processors)) != len(self.processors):
+            raise RedistributionError(
+                f"duplicate processors in layout: {self.processors!r}"
+            )
+        check_positive_int(self.block_size, "block_size")
+
+    @classmethod
+    def over(cls, processors: Sequence[int], block_size: int = 1) -> "BlockCyclicLayout":
+        """Layout over *processors* preserving the given order."""
+        return cls(tuple(int(p) for p in processors), block_size)
+
+    @property
+    def width(self) -> int:
+        """Number of processors holding data."""
+        return len(self.processors)
+
+    def owner(self, block_index: int) -> int:
+        """Processor owning block *block_index*."""
+        if block_index < 0:
+            raise RedistributionError(f"negative block index {block_index}")
+        return self.processors[block_index % self.width]
+
+    def share(self, processor: int) -> float:
+        """Fraction of the data held by *processor* (0 if not in the layout)."""
+        if processor not in self.processors:
+            return 0.0
+        return 1.0 / self.width
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockCyclicLayout(procs={self.processors!r})"

@@ -1,0 +1,106 @@
+"""Two-dimensional block-cyclic layouts (ScaLAPACK-style processor grids).
+
+The paper's applications distribute matrices and tensors; the 1-D
+block-cyclic model in :mod:`repro.redistribution.blockcyclic` is what its
+cost formulas use, but real dense-linear-algebra codes run on ``Pr x Pc``
+processor grids. This module provides the 2-D generalization with the same
+exact-period trick: the element-block at (i, j) lives on
+``grid[i mod Pr][j mod Pc]``, so redistribution between two grids is
+periodic with period ``lcm(Pr1, Pr2) x lcm(Pc1, Pc2)`` and the pairwise
+volume matrix follows by counting matches over one period — the row and
+column patterns factor, so the count is a product of two 1-D patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.exceptions import RedistributionError
+from repro.redistribution.blockcyclic import pair_fractions
+from repro.utils.validation import check_non_negative
+
+__all__ = ["ProcessorGrid", "volume_matrix_2d", "locality_fraction_2d"]
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A ``Pr x Pc`` arrangement of distinct processors (row-major)."""
+
+    rows: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.rows or not self.rows[0]:
+            raise RedistributionError("grid must be non-empty")
+        width = len(self.rows[0])
+        if any(len(r) != width for r in self.rows):
+            raise RedistributionError("grid rows must have equal lengths")
+        flat = [p for row in self.rows for p in row]
+        if len(set(flat)) != len(flat):
+            raise RedistributionError(f"duplicate processors in grid: {flat!r}")
+
+    @classmethod
+    def from_flat(
+        cls, processors: Sequence[int], pr: int, pc: int
+    ) -> "ProcessorGrid":
+        """Arrange *processors* row-major into a ``pr x pc`` grid."""
+        procs = [int(p) for p in processors]
+        if pr < 1 or pc < 1:
+            raise RedistributionError(f"grid shape must be positive, got {pr}x{pc}")
+        if len(procs) != pr * pc:
+            raise RedistributionError(
+                f"need {pr * pc} processors for a {pr}x{pc} grid, got {len(procs)}"
+            )
+        rows = tuple(
+            tuple(procs[r * pc: (r + 1) * pc]) for r in range(pr)
+        )
+        return cls(rows)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return len(self.rows), len(self.rows[0])
+
+    @property
+    def processors(self) -> Tuple[int, ...]:
+        """Row-major flattening."""
+        return tuple(p for row in self.rows for p in row)
+
+    def owner(self, i: int, j: int) -> int:
+        """Processor owning element-block ``(i, j)``."""
+        pr, pc = self.shape
+        return self.rows[i % pr][j % pc]
+
+    def row_pattern(self) -> Tuple[int, ...]:
+        """Synthetic 1-D 'processors' indexed by grid row (for factoring)."""
+        return tuple(range(len(self.rows)))
+
+
+def volume_matrix_2d(
+    src: ProcessorGrid, dst: ProcessorGrid, total_bytes: float
+) -> Dict[Tuple[int, int], float]:
+    """Bytes moving between every processor pair for a 2-D redistribution.
+
+    Factored computation: the (source row index, destination row index)
+    co-occurrence fractions and the column equivalents are independent 1-D
+    block-cyclic patterns; the joint fraction is their product.
+    """
+    check_non_negative(total_bytes, "total_bytes")
+    pr1, pc1 = src.shape
+    pr2, pc2 = dst.shape
+    # 1-D co-occurrence of *indices* (row r1 of src with row r2 of dst)
+    row_pairs = pair_fractions(tuple(range(pr1)), tuple(range(pr2)))
+    col_pairs = pair_fractions(tuple(range(pc1)), tuple(range(pc2)))
+    out: Dict[Tuple[int, int], float] = {}
+    for (r1, r2), fr in row_pairs.items():
+        for (c1, c2), fc in col_pairs.items():
+            sp = src.rows[r1][c1]
+            dp = dst.rows[r2][c2]
+            key = (sp, dp)
+            out[key] = out.get(key, 0.0) + fr * fc * total_bytes
+    return out
+
+
+def locality_fraction_2d(src: ProcessorGrid, dst: ProcessorGrid) -> float:
+    """Fraction of the data already resident on its destination processor."""
+    mat = volume_matrix_2d(src, dst, 1.0)
+    return sum(v for (sp, dp), v in mat.items() if sp == dp)

@@ -1,0 +1,37 @@
+"""Schedule representation, the 2-D chart timeline, validation, metrics."""
+
+from repro.schedule.types import PlacedTask, Schedule
+from repro.schedule.timeline import ProcessorTimeline
+from repro.schedule.validation import validate_schedule
+from repro.schedule.metrics import (
+    utilization,
+    total_comm_time,
+    total_idle_time,
+    gantt_ascii,
+    schedule_summary,
+)
+from repro.schedule.svg import schedule_to_svg, save_svg
+from repro.schedule.export import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "PlacedTask",
+    "Schedule",
+    "ProcessorTimeline",
+    "validate_schedule",
+    "utilization",
+    "total_comm_time",
+    "total_idle_time",
+    "gantt_ascii",
+    "schedule_summary",
+    "schedule_to_svg",
+    "save_svg",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]

@@ -1,0 +1,82 @@
+"""Schedule (de)serialization: persist placements as JSON.
+
+A schedule is a plan another system may want to execute or visualize; this
+module round-trips the complete placement data — processor sets, start /
+exec-start / finish times, per-edge communication times, and the cluster
+parameters the plan assumed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.cluster import Cluster
+from repro.schedule.types import PlacedTask, Schedule
+
+__all__ = ["schedule_to_dict", "schedule_from_dict", "save_schedule", "load_schedule"]
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """JSON-serializable representation of *schedule*."""
+    return {
+        "scheduler": schedule.scheduler,
+        "scheduling_time": schedule.scheduling_time,
+        "cluster": {
+            "num_processors": schedule.cluster.num_processors,
+            "bandwidth": schedule.cluster.bandwidth,
+            "overlap": schedule.cluster.overlap,
+            "name": schedule.cluster.name,
+        },
+        "placements": [
+            {
+                "name": p.name,
+                "start": p.start,
+                "exec_start": p.exec_start,
+                "finish": p.finish,
+                "processors": list(p.processors),
+            }
+            for p in sorted(schedule, key=lambda p: (p.start, p.name))
+        ],
+        "edge_comm_times": [
+            {"src": u, "dst": v, "time": t}
+            for (u, v), t in sorted(schedule.edge_comm_times.items())
+        ],
+    }
+
+
+def schedule_from_dict(doc: Dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    cdoc = doc["cluster"]
+    cluster = Cluster(
+        num_processors=cdoc["num_processors"],
+        bandwidth=cdoc["bandwidth"],
+        overlap=cdoc["overlap"],
+        name=cdoc.get("name", "cluster"),
+    )
+    schedule = Schedule(cluster, scheduler=doc.get("scheduler", ""))
+    schedule.scheduling_time = float(doc.get("scheduling_time", 0.0))
+    for pdoc in doc["placements"]:
+        schedule.place(
+            PlacedTask(
+                name=pdoc["name"],
+                start=pdoc["start"],
+                exec_start=pdoc["exec_start"],
+                finish=pdoc["finish"],
+                processors=tuple(pdoc["processors"]),
+            )
+        )
+    for edoc in doc.get("edge_comm_times", []):
+        schedule.edge_comm_times[(edoc["src"], edoc["dst"])] = edoc["time"]
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: Union[str, Path]) -> None:
+    """Write *schedule* to *path* as JSON."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: Union[str, Path]) -> Schedule:
+    """Read a schedule written by :func:`save_schedule`."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,106 @@
+"""Schedule quality metrics and terminal rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph import TaskGraph
+from repro.schedule.types import Schedule
+
+__all__ = [
+    "utilization",
+    "total_comm_time",
+    "total_idle_time",
+    "total_nonlocal_bytes",
+    "gantt_ascii",
+    "schedule_summary",
+]
+
+
+def utilization(schedule: Schedule) -> float:
+    """Busy processor-time over total processor-time, in ``[0, 1]``."""
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return 0.0
+    busy = sum(p.duration * p.width for p in schedule)
+    return busy / (schedule.cluster.num_processors * makespan)
+
+
+def total_idle_time(schedule: Schedule) -> float:
+    """Idle processor-time (the 2-D chart's unfilled area)."""
+    makespan = schedule.makespan
+    busy = sum(p.duration * p.width for p in schedule)
+    return schedule.cluster.num_processors * makespan - busy
+
+
+def total_comm_time(schedule: Schedule) -> float:
+    """Sum of the actual per-edge redistribution times."""
+    return sum(schedule.edge_comm_times.values())
+
+
+def total_nonlocal_bytes(schedule: Schedule, graph: TaskGraph) -> float:
+    """Bytes that actually crossed the network under this placement."""
+    from repro.redistribution.blockcyclic import nonlocal_volume
+
+    total = 0.0
+    for u, v in graph.edges():
+        pu, pv = schedule.get(u), schedule.get(v)
+        if pu is None or pv is None:
+            continue
+        volume = graph.data_volume(u, v)
+        if volume > 0:
+            total += nonlocal_volume(pu.processors, pv.processors, volume)
+    return total
+
+
+def gantt_ascii(
+    schedule: Schedule, *, width: int = 78, max_procs: int = 32
+) -> str:
+    """A coarse ASCII Gantt chart (one row per processor).
+
+    Intended for examples and debugging; long schedules are binned to
+    *width* columns and only the first *max_procs* processors are drawn.
+    """
+    makespan = schedule.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    cols = max(10, width - 8)
+    scale = makespan / cols
+    procs = schedule.cluster.processors[:max_procs]
+    grid: Dict[int, List[str]] = {p: ["."] * cols for p in procs}
+    for idx, placed in enumerate(sorted(schedule, key=lambda p: p.start)):
+        mark = chr(ord("A") + idx % 26)
+        lo = int(placed.start / scale)
+        hi = max(lo + 1, int(placed.finish / scale + 0.999))
+        for p in placed.processors:
+            if p in grid:
+                for c in range(lo, min(hi, cols)):
+                    grid[p][c] = mark
+    lines = [f"makespan = {makespan:g}  ({schedule.scheduler or 'schedule'})"]
+    for p in procs:
+        lines.append(f"P{p:>3} |" + "".join(grid[p]) + "|")
+    if schedule.cluster.num_processors > max_procs:
+        lines.append(f"  ... ({schedule.cluster.num_processors - max_procs} more processors)")
+    legend = ", ".join(
+        f"{chr(ord('A') + i % 26)}={p.name}"
+        for i, p in enumerate(sorted(schedule, key=lambda p: p.start))
+    )
+    lines.append("tasks: " + legend)
+    return "\n".join(lines)
+
+
+def schedule_summary(schedule: Schedule, graph: Optional[TaskGraph] = None) -> str:
+    """A one-paragraph textual summary of the schedule."""
+    parts = [
+        f"scheduler={schedule.scheduler or '?'}",
+        f"tasks={len(schedule)}",
+        f"P={schedule.cluster.num_processors}",
+        f"makespan={schedule.makespan:.3f}",
+        f"utilization={utilization(schedule):.1%}",
+        f"comm_time={total_comm_time(schedule):.3f}",
+    ]
+    if schedule.scheduling_time:
+        parts.append(f"sched_wallclock={schedule.scheduling_time * 1e3:.1f}ms")
+    if graph is not None:
+        parts.append(f"nonlocal_MB={total_nonlocal_bytes(schedule, graph) / 1e6:.2f}")
+    return "  ".join(parts)

@@ -1,0 +1,139 @@
+"""Standalone SVG rendering of schedules (no plotting dependencies).
+
+Produces a self-contained SVG Gantt chart: one row per processor, one
+rectangle per task occupancy (with the communication prefix shaded in
+no-overlap schedules), a time axis, and a task legend. Useful for
+inspecting the paper's examples and for documentation artifacts.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.schedule.types import Schedule
+
+__all__ = ["schedule_to_svg", "save_svg"]
+
+#: a categorical palette cycled over tasks (hex, colorblind-aware ordering)
+_PALETTE = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+    "#aa3377", "#bbbbbb", "#44aa99", "#999933", "#882255",
+]
+
+_ROW_H = 26
+_MARGIN_L = 64
+_MARGIN_T = 34
+_MARGIN_B = 46
+_CHART_W = 860
+
+
+def _color(index: int) -> str:
+    return _PALETTE[index % len(_PALETTE)]
+
+
+def schedule_to_svg(
+    schedule: Schedule, *, title: Optional[str] = None
+) -> str:
+    """Render *schedule* as an SVG document string."""
+    makespan = schedule.makespan
+    procs = schedule.cluster.processors
+    height = _MARGIN_T + _ROW_H * len(procs) + _MARGIN_B
+    width = _MARGIN_L + _CHART_W + 24
+    scale = _CHART_W / makespan if makespan > 0 else 1.0
+
+    tasks = sorted(schedule, key=lambda p: (p.start, p.name))
+    color_of: Dict[str, str] = {
+        p.name: _color(i) for i, p in enumerate(tasks)
+    }
+    row_of = {p: i for i, p in enumerate(procs)}
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    label = html.escape(
+        title
+        or f"{schedule.scheduler or 'schedule'} — makespan {makespan:.3f}"
+    )
+    parts.append(
+        f'<text x="{_MARGIN_L}" y="18" font-size="13" font-weight="bold">'
+        f"{label}</text>"
+    )
+
+    # processor rows
+    for p in procs:
+        y = _MARGIN_T + row_of[p] * _ROW_H
+        parts.append(
+            f'<text x="8" y="{y + _ROW_H * 0.7:.1f}" fill="#444">P{p}</text>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y + _ROW_H:.1f}" '
+            f'x2="{_MARGIN_L + _CHART_W}" y2="{y + _ROW_H:.1f}" '
+            f'stroke="#eee"/>'
+        )
+
+    # task rectangles
+    for placed in tasks:
+        x0 = _MARGIN_L + placed.start * scale
+        x_exec = _MARGIN_L + placed.exec_start * scale
+        x1 = _MARGIN_L + placed.finish * scale
+        fill = color_of[placed.name]
+        name = html.escape(placed.name)
+        for p in placed.processors:
+            y = _MARGIN_T + row_of[p] * _ROW_H + 2
+            h = _ROW_H - 5
+            if placed.exec_start > placed.start:
+                # communication prefix (no-overlap mode), hatched lighter
+                parts.append(
+                    f'<rect x="{x0:.2f}" y="{y}" width="{x_exec - x0:.2f}" '
+                    f'height="{h}" fill="{fill}" fill-opacity="0.35">'
+                    f"<title>{name} (inbound redistribution)</title></rect>"
+                )
+            parts.append(
+                f'<rect x="{x_exec:.2f}" y="{y}" width="{max(x1 - x_exec, 0.5):.2f}" '
+                f'height="{h}" fill="{fill}">'
+                f"<title>{name} [{placed.start:.3f}, {placed.finish:.3f})"
+                f"</title></rect>"
+            )
+        # one label on the topmost row of the task
+        top = min(row_of[p] for p in placed.processors)
+        y = _MARGIN_T + top * _ROW_H + 2
+        if x1 - x_exec > 7 * len(placed.name):
+            parts.append(
+                f'<text x="{x_exec + 3:.2f}" y="{y + _ROW_H * 0.6:.1f}" '
+                f'fill="white">{name}</text>'
+            )
+
+    # time axis
+    axis_y = _MARGIN_T + len(procs) * _ROW_H + 14
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{axis_y - 10}" '
+        f'x2="{_MARGIN_L + _CHART_W}" y2="{axis_y - 10}" stroke="#888"/>'
+    )
+    ticks = 8
+    for i in range(ticks + 1):
+        t = makespan * i / ticks if makespan > 0 else 0.0
+        x = _MARGIN_L + (_CHART_W * i / ticks)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{axis_y - 13}" x2="{x:.1f}" '
+            f'y2="{axis_y - 7}" stroke="#888"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 2}" text-anchor="middle" '
+            f'fill="#444">{t:.3g}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    schedule: Schedule,
+    path: Union[str, Path],
+    *,
+    title: Optional[str] = None,
+) -> None:
+    """Write :func:`schedule_to_svg` output to *path*."""
+    Path(path).write_text(schedule_to_svg(schedule, title=title))

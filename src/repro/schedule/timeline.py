@@ -1,0 +1,207 @@
+"""The 2-D scheduling chart: per-processor busy intervals and hole queries.
+
+Backfill scheduling views the machine as a chart with time on one axis and
+processors on the other (paper Section III-F). This class maintains the
+chart incrementally as tasks are placed and answers the queries LoCBS needs:
+
+* which processors are idle at a candidate start time, and until when;
+* the *release times* after ``t`` (busy-interval ends — the only instants at
+  which the idle set can grow, hence the only start times worth probing);
+* feasibility of a concrete rectangle ``(procs, [start, end))``;
+* per-processor *latest free time* for the cheaper no-backfill variant.
+
+The slot search dominates the whole library's runtime, so busy intervals
+are stored as parallel sorted ``starts``/``ends`` lists per processor and
+queried with :mod:`bisect` instead of object-based interval sets.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.exceptions import ScheduleError
+from repro.utils.intervals import EPS, Interval, IntervalSet
+
+__all__ = ["ProcessorTimeline"]
+
+
+class ProcessorTimeline:
+    """Busy-interval bookkeeping for a fixed set of processors."""
+
+    __slots__ = ("_procs", "_starts", "_ends", "_release_times")
+
+    def __init__(self, processors: Sequence[int]) -> None:
+        procs = tuple(int(p) for p in processors)
+        if not procs:
+            raise ScheduleError("timeline needs at least one processor")
+        if len(set(procs)) != len(procs):
+            raise ScheduleError(f"duplicate processors: {procs!r}")
+        self._procs: Tuple[int, ...] = procs
+        self._starts: Dict[int, List[float]] = {p: [] for p in procs}
+        self._ends: Dict[int, List[float]] = {p: [] for p in procs}
+        #: global sorted list of busy-interval end times (with duplicates)
+        self._release_times: List[float] = []
+
+    # -- basic accessors ---------------------------------------------------------
+
+    @property
+    def processors(self) -> Tuple[int, ...]:
+        return self._procs
+
+    def busy_intervals(self, proc: int) -> IntervalSet:
+        """The busy set of *proc* as an :class:`IntervalSet` (a copy)."""
+        return IntervalSet(
+            Interval(s, e)
+            for s, e in zip(self._starts[proc], self._ends[proc])
+        )
+
+    # -- mutation ------------------------------------------------------------------
+
+    def reserve(self, procs: Iterable[int], start: float, end: float) -> None:
+        """Mark ``[start, end)`` busy on *procs*; overlap raises.
+
+        Zero-length reservations (``end <= start``) are ignored — they occur
+        when a task's occupancy collapses (e.g. zero-cost redistribution
+        before a zero-time task) and occupy nothing.
+        """
+        if end - start <= EPS:
+            return
+        plist = list(procs)
+        for p in plist:
+            if not self._fits(p, start, end):
+                raise ScheduleError(
+                    f"processor {p} already busy during [{start:g}, {end:g})"
+                )
+        for p in plist:
+            idx = bisect_left(self._starts[p], start)
+            self._starts[p].insert(idx, start)
+            self._ends[p].insert(idx, end)
+        insort(self._release_times, end)
+
+    def _fits(self, proc: int, start: float, end: float) -> bool:
+        """True if ``[start, end)`` overlaps no busy interval of *proc*."""
+        ends = self._ends[proc]
+        idx = bisect_right(ends, start + EPS)  # first interval ending after start
+        return idx == len(ends) or self._starts[proc][idx] >= end - EPS
+
+    # -- hole / availability queries ----------------------------------------------
+
+    def is_free(self, procs: Iterable[int], start: float, end: float) -> bool:
+        """True if every processor in *procs* is idle through ``[start, end)``."""
+        if end - start <= EPS:
+            return True
+        return all(self._fits(p, start, end) for p in procs)
+
+    def free_at(self, proc: int, t: float) -> bool:
+        """True if *proc* is idle at instant *t* (busy intervals half-open)."""
+        ends = self._ends[proc]
+        idx = bisect_right(ends, t + EPS)
+        return idx == len(ends) or self._starts[proc][idx] > t + EPS
+
+    def free_until(self, proc: int, t: float) -> float:
+        """First busy-interval start at or after *t* (inf if none).
+
+        Only meaningful when the processor is idle at *t*.
+        """
+        starts = self._starts[proc]
+        idx = bisect_left(starts, t - EPS)
+        return starts[idx] if idx < len(starts) else math.inf
+
+    def idle_processors(self, t: float) -> List[int]:
+        """Processors idle at instant *t*, in machine order."""
+        return [p for p in self._procs if self.free_at(p, t)]
+
+    def idle_with_horizon(self, t: float) -> List[Tuple[int, float]]:
+        """``(proc, next_busy_start)`` for every processor idle at *t*.
+
+        Hot path of the backfill slot search: locals are bound once and the
+        per-processor work is two list probes plus one bisect.
+        """
+        out: List[Tuple[int, float]] = []
+        append = out.append
+        tol = t + EPS
+        inf = math.inf
+        starts_of = self._starts
+        ends_of = self._ends
+        for p in self._procs:
+            ends = ends_of[p]
+            n = len(ends)
+            if not n or ends[-1] <= tol:
+                append((p, inf))
+                continue
+            idx = bisect_right(ends, tol)
+            nxt = starts_of[p][idx]
+            if nxt > tol:
+                append((p, nxt))
+        return out
+
+    def earliest_available(self, proc: int) -> float:
+        """Latest busy end of *proc* (0 if never used) — the no-backfill EAT."""
+        ends = self._ends[proc]
+        return ends[-1] if ends else 0.0
+
+    def release_times(self, after: float) -> List[float]:
+        """Sorted deduplicated busy-interval end times strictly after *after*.
+
+        These are the only instants where processors become idle, so the
+        backfill slot search probes exactly ``{after} + release_times``.
+        """
+        idx = bisect_right(self._release_times, after + EPS)
+        out: List[float] = []
+        prev = None
+        for t in self._release_times[idx:]:
+            if prev is None or t - prev > EPS:
+                out.append(t)
+                prev = t
+        return out
+
+    def boundary_times(self, after: float) -> List[float]:
+        """Sorted deduplicated interval starts *and* ends after *after*."""
+        seen: Set[float] = set()
+        for p in self._procs:
+            for edge in self._starts[p] + self._ends[p]:
+                if edge > after + EPS:
+                    seen.add(edge)
+        return sorted(seen)
+
+    def horizon(self) -> float:
+        """Latest busy end across all processors (0 for an empty chart)."""
+        return self._release_times[-1] if self._release_times else 0.0
+
+    def first_fit_start(
+        self, procs: Iterable[int], earliest: float, duration: float
+    ) -> float:
+        """Earliest ``t >= earliest`` with ``[t, t+duration)`` free on *procs*.
+
+        Fixed processor set; used by the list scheduler and tests.
+        """
+        if duration <= EPS:
+            return earliest
+        merged = IntervalSet()
+        for p in procs:
+            merged = merged.union(self.busy_intervals(p))
+        return merged.first_fit(earliest, duration)
+
+    # -- invariants (used by property tests) ----------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if any processor's busy intervals are unsorted or overlap."""
+        for p in self._procs:
+            prev_end = -math.inf
+            for s, e in zip(self._starts[p], self._ends[p]):
+                if e - s <= EPS:
+                    raise ScheduleError(f"processor {p} has empty busy interval")
+                if s < prev_end - EPS:
+                    raise ScheduleError(
+                        f"processor {p} busy intervals overlap near {s}"
+                    )
+                prev_end = e
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        busy = sum(len(s) for s in self._starts.values())
+        return (
+            f"ProcessorTimeline(P={len(self._procs)}, busy_intervals={busy}, "
+            f"horizon={self.horizon():g})"
+        )

@@ -1,0 +1,122 @@
+"""Independent schedule validator — the library's correctness oracle.
+
+Every scheduler's output is checked against the raw constraints, using only
+the task graph, the cluster, and the redistribution model (never the
+scheduler's own bookkeeping):
+
+1. every task is placed exactly once, on processors the cluster owns;
+2. no processor executes two tasks at once;
+3. each task's computation starts no earlier than each predecessor's finish
+   plus the actual redistribution time between the two concrete processor
+   sets (with overlap) — or, without overlap, the occupancy window is long
+   enough to contain the inbound redistribution;
+4. each task's computation lasts exactly ``et(t, np(t))``.
+
+Violations raise :class:`~repro.exceptions.ValidationError` with a precise
+message; ``collect=True`` gathers all violations instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import ValidationError
+from repro.graph import TaskGraph
+from repro.redistribution import RedistributionModel
+from repro.schedule.timeline import ProcessorTimeline
+from repro.schedule.types import Schedule
+from repro.utils.intervals import EPS
+
+__all__ = ["validate_schedule"]
+
+#: slack for floating-point time comparisons, larger than interval EPS to
+#: absorb accumulated rounding across long dependence chains
+_TOL = 1e-6
+
+
+def validate_schedule(
+    schedule: Schedule,
+    graph: TaskGraph,
+    *,
+    redistribution: Optional[RedistributionModel] = None,
+    collect: bool = False,
+) -> List[str]:
+    """Check *schedule* against *graph* on the schedule's cluster.
+
+    Returns the list of violation messages (empty when valid). Raises
+    :class:`ValidationError` on the first violation unless *collect*.
+    """
+    problems: List[str] = []
+
+    def fail(msg: str) -> None:
+        if collect:
+            problems.append(msg)
+        else:
+            raise ValidationError(msg)
+
+    model = redistribution or RedistributionModel(schedule.cluster)
+    cluster = schedule.cluster
+
+    # 1. completeness
+    missing = [t for t in graph.tasks() if t not in schedule]
+    if missing:
+        fail(f"tasks not scheduled: {missing!r}")
+        if collect and missing:
+            return problems  # placements below would KeyError
+
+    extra = [p.name for p in schedule if p.name not in graph]
+    if extra:
+        fail(f"schedule contains unknown tasks: {extra!r}")
+
+    # 2. processor exclusivity (rebuild the chart from scratch)
+    timeline = ProcessorTimeline(cluster.processors)
+    for placed in sorted(schedule, key=lambda p: (p.start, p.name)):
+        try:
+            timeline.reserve(placed.processors, placed.start, placed.finish)
+        except Exception as exc:  # ScheduleError from overlap
+            fail(f"resource conflict placing {placed.name!r}: {exc}")
+
+    # 3 + 4. per-task timing
+    for name in graph.tasks():
+        placed = schedule.get(name)
+        if placed is None:
+            continue  # already reported
+        expected = graph.et(name, placed.width)
+        if abs(placed.exec_duration - expected) > _TOL * max(1.0, expected):
+            fail(
+                f"task {name!r}: computation lasts {placed.exec_duration:g} "
+                f"but et({name}, {placed.width}) = {expected:g}"
+            )
+        comm_budget = placed.exec_start - placed.start
+        required_comm = 0.0
+        for parent in graph.predecessors(name):
+            parent_placed = schedule.get(parent)
+            if parent_placed is None:
+                continue
+            volume = graph.data_volume(parent, name)
+            xfer = model.transfer_time(
+                parent_placed.processors, placed.processors, volume
+            )
+            required_comm += xfer
+            arrival = parent_placed.finish + xfer
+            if cluster.overlap:
+                if placed.exec_start < arrival - _TOL:
+                    fail(
+                        f"task {name!r} starts computing at {placed.exec_start:g} "
+                        f"before data from {parent!r} arrives at {arrival:g}"
+                    )
+            else:
+                if placed.start < parent_placed.finish - _TOL:
+                    fail(
+                        f"task {name!r} occupies processors at {placed.start:g} "
+                        f"before parent {parent!r} finishes at "
+                        f"{parent_placed.finish:g}"
+                    )
+        if not cluster.overlap and comm_budget < required_comm - _TOL:
+            fail(
+                f"task {name!r}: no-overlap mode needs {required_comm:g} of "
+                f"inbound communication inside its occupancy but only "
+                f"{comm_budget:g} is reserved"
+            )
+
+    return problems

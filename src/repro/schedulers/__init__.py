@@ -1,0 +1,49 @@
+"""Scheduling algorithms: LoC-MPS, its LoCBS engine, and every baseline.
+
+The paper's evaluation compares six schemes; all are implemented here plus a
+TSAS-flavoured extension:
+
+===========  ==================================================================
+``locmps``   LoC-MPS (Algorithm 1) — the paper's contribution
+``icaslb``   iCASLB — the authors' prior work; allocation ignores comm costs
+``cpr``      Critical Path Reduction (Radulescu et al., IPDPS 2001)
+``cpa``      Critical Path and Allocation (Radulescu & van Gemund, ICPP 2001)
+``task``     pure task-parallel: one processor per task + LoCBS
+``data``     pure data-parallel: every task on all processors, in sequence
+``tsas``     two-step allocation via continuous optimization (extension)
+===========  ==================================================================
+
+Use :func:`repro.schedulers.registry.get_scheduler` (or the ``SCHEDULERS``
+mapping) to instantiate by name.
+"""
+
+from repro.schedulers.base import Scheduler, SchedulingResult
+from repro.schedulers.locbs import locbs_schedule, LocbsOptions
+from repro.schedulers.nobackfill import nobackfill_schedule
+from repro.schedulers.list_scheduler import list_schedule
+from repro.schedulers.locmps import LocMpsScheduler
+from repro.schedulers.icaslb import IcaslbScheduler
+from repro.schedulers.cpr import CprScheduler
+from repro.schedulers.cpa import CpaScheduler
+from repro.schedulers.tsas import TsasScheduler
+from repro.schedulers.task_parallel import TaskParallelScheduler
+from repro.schedulers.data_parallel import DataParallelScheduler
+from repro.schedulers.registry import SCHEDULERS, get_scheduler
+
+__all__ = [
+    "Scheduler",
+    "SchedulingResult",
+    "locbs_schedule",
+    "LocbsOptions",
+    "nobackfill_schedule",
+    "list_schedule",
+    "LocMpsScheduler",
+    "IcaslbScheduler",
+    "CprScheduler",
+    "CpaScheduler",
+    "TsasScheduler",
+    "TaskParallelScheduler",
+    "DataParallelScheduler",
+    "SCHEDULERS",
+    "get_scheduler",
+]

@@ -1,0 +1,97 @@
+"""Scheduler interface and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.cluster import Cluster
+from repro.exceptions import AllocationError
+from repro.graph import TaskGraph
+from repro.graph.pseudo import ScheduleDAG
+from repro.redistribution import estimate_edge_cost
+from repro.schedule import Schedule
+
+__all__ = ["Scheduler", "SchedulingResult", "clamp_allocation", "edge_cost_map"]
+
+
+@dataclass
+class SchedulingResult:
+    """What a scheduler returns: the schedule and the schedule-DAG ``G'``."""
+
+    schedule: Schedule
+    sdag: ScheduleDAG
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+
+class Scheduler(abc.ABC):
+    """Common interface of all allocation-and-scheduling algorithms."""
+
+    #: short identifier used by the registry and experiment reports
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:
+        """Allocate and schedule *graph* on *cluster*."""
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster) -> Schedule:
+        """Run the algorithm and return the schedule, timing the call.
+
+        The wall-clock scheduling time is stored on the returned schedule
+        (``Schedule.scheduling_time``) — the quantity plotted by the paper's
+        Figs 6(b) and 10.
+        """
+        graph.validate()
+        t0 = time.perf_counter()
+        result = self.run(graph, cluster)
+        result.schedule.scheduling_time = time.perf_counter() - t0
+        result.schedule.scheduler = self.name
+        return result.schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def clamp_allocation(
+    graph: TaskGraph, cluster: Cluster, allocation: Mapping[str, int]
+) -> Dict[str, int]:
+    """Validate and normalize an allocation against graph and cluster."""
+    out: Dict[str, int] = {}
+    for t in graph.tasks():
+        np_t = allocation.get(t)
+        if np_t is None:
+            raise AllocationError(f"allocation missing task {t!r}")
+        if not (1 <= np_t <= cluster.num_processors):
+            raise AllocationError(
+                f"allocation for {t!r} is {np_t}, outside "
+                f"[1, {cluster.num_processors}]"
+            )
+        out[t] = int(np_t)
+    return out
+
+
+def edge_cost_map(
+    graph: TaskGraph,
+    cluster: Cluster,
+    allocation: Mapping[str, int],
+    *,
+    comm_blind: bool = False,
+) -> Dict[Tuple[str, str], float]:
+    """Allocation-time edge-cost estimates ``D / (min(np_u, np_v) * bw)``.
+
+    ``comm_blind=True`` (the iCASLB assumption) forces every cost to zero.
+    """
+    costs: Dict[Tuple[str, str], float] = {}
+    for u, v in graph.edges():
+        if comm_blind:
+            costs[(u, v)] = 0.0
+        else:
+            costs[(u, v)] = estimate_edge_cost(
+                allocation[u], allocation[v], graph.data_volume(u, v), cluster.bandwidth
+            )
+    return costs

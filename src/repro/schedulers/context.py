@@ -1,0 +1,70 @@
+"""Scheduling context: pinned machine state and external data inputs.
+
+The paper lists on-line scheduling in a run-time framework as future work.
+This module provides the plumbing that makes it possible: a
+:class:`SchedulingContext` describes the state of a cluster *mid-execution*
+— processors busy until some release time, and data produced by
+already-finished tasks resident on concrete processor sets — so that LoCBS
+(and therefore LoC-MPS) can schedule the *remaining* subgraph consistently
+with work that has already happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ScheduleError
+
+__all__ = ["ExternalInput", "SchedulingContext"]
+
+
+@dataclass(frozen=True)
+class ExternalInput:
+    """Data an already-finished producer left behind for a remaining task.
+
+    Attributes
+    ----------
+    ready_time:
+        Absolute time at which the data exists (the producer's realized
+        finish time).
+    processors:
+        The ordered processor set holding the data block-cyclically.
+    volume:
+        Bytes to redistribute to the consumer's processor set.
+    label:
+        Identifier of the producer (for diagnostics only).
+    """
+
+    ready_time: float
+    processors: Tuple[int, ...]
+    volume: float
+    label: str = "external"
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise ScheduleError("external input needs a non-empty processor set")
+        if self.volume < 0:
+            raise ScheduleError(f"negative external volume {self.volume}")
+        if self.ready_time < 0:
+            raise ScheduleError(f"negative ready time {self.ready_time}")
+
+
+@dataclass
+class SchedulingContext:
+    """Machine + data state a scheduler must respect.
+
+    ``processor_ready`` maps a processor to the absolute time it becomes
+    free (processors absent from the mapping are free at 0).
+    ``external_inputs`` maps a remaining task to the inputs produced by
+    tasks that are no longer part of the graph being scheduled.
+    """
+
+    processor_ready: Dict[int, float] = field(default_factory=dict)
+    external_inputs: Dict[str, List[ExternalInput]] = field(default_factory=dict)
+
+    def inputs_for(self, task: str) -> Sequence[ExternalInput]:
+        return self.external_inputs.get(task, ())
+
+    def ready_time(self, processor: int) -> float:
+        return self.processor_ready.get(processor, 0.0)

@@ -1,0 +1,79 @@
+"""CPA — Critical Path and Allocation (Radulescu & van Gemund, ICPP 2001).
+
+The low-cost two-phase baseline:
+
+* **Allocation phase.** Starting from one processor per task, while the
+  critical-path length ``L`` exceeds the average processor area
+  ``A = (1/P) * sum_t np(t) * et(t, np(t))``, grow the critical-path task
+  with the largest execution-time reduction by one processor. Both ``L``
+  and ``A`` are static quantities of the DAG and the allocation — no
+  schedule is computed inside the loop, which is what makes CPA cheap.
+* **Scheduling phase.** List-schedule the final allocation.
+
+The decoupling of the two phases (allocation never sees resource-induced
+serialization) and the locality-unaware scheduler are the quality limits the
+paper exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster import Cluster
+from repro.exceptions import ScheduleError
+from repro.graph import TaskGraph, critical_path
+from repro.schedulers.base import Scheduler, SchedulingResult, edge_cost_map
+from repro.schedulers.list_scheduler import list_schedule
+
+__all__ = ["CpaScheduler"]
+
+
+class CpaScheduler(Scheduler):
+    """Two-phase Critical Path and Allocation baseline."""
+
+    name = "cpa"
+
+    def __init__(self, *, max_rounds: Optional[int] = None) -> None:
+        self.max_rounds = max_rounds
+
+    def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:
+        tasks = graph.tasks()
+        if not tasks:
+            raise ScheduleError("cannot schedule an empty task graph")
+        P = cluster.num_processors
+        g = graph.nx_graph()
+        limits = {t: min(P, graph.task(t).profile.pbest(P)) for t in tasks}
+        alloc: Dict[str, int] = {t: 1 for t in tasks}
+
+        def cp_length_and_path():
+            costs = edge_cost_map(graph, cluster, alloc)
+            return critical_path(
+                g, lambda t: graph.et(t, alloc[t]), lambda u, v: costs[(u, v)]
+            )
+
+        def average_area() -> float:
+            return sum(graph.task(t).profile.work(alloc[t]) for t in tasks) / P
+
+        # Each growth is monotone (areas only grow, CP only shrinks), so the
+        # loop ends; the cap is a safety valve.
+        cap = self.max_rounds or (graph.num_tasks * P + 16)
+        for _round in range(cap):
+            length, cp = cp_length_and_path()
+            if length <= average_area():
+                break
+            candidates = [
+                t
+                for t in dict.fromkeys(cp)
+                if alloc[t] < limits[t] and graph.task(t).profile.gain(alloc[t]) > 0
+            ]
+            if not candidates:
+                break
+            best = max(
+                candidates,
+                key=lambda t: (graph.task(t).profile.gain(alloc[t]), t),
+            )
+            alloc[best] += 1
+
+        result = list_schedule(graph, cluster, alloc)
+        result.schedule.scheduler = self.name
+        return result

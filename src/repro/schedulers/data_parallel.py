@@ -1,0 +1,59 @@
+"""DATA — the pure data-parallel baseline.
+
+Every task runs on all ``P`` processors, one task at a time, in topological
+order. Because consecutive tasks use the identical full-machine block-cyclic
+layout, no redistribution is ever needed — the paper's stated reason DATA
+"incurs no communication and re-distribution costs". Its weakness is
+imperfect task scalability: with sub-linear speedups, running a 1-second
+task on 128 processors wastes almost the whole machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cluster import Cluster
+from repro.exceptions import ScheduleError
+from repro.graph import TaskGraph
+from repro.graph.pseudo import ScheduleDAG
+from repro.schedule import PlacedTask, Schedule
+from repro.schedulers.base import Scheduler, SchedulingResult
+
+__all__ = ["DataParallelScheduler"]
+
+
+class DataParallelScheduler(Scheduler):
+    """All tasks on all processors, serialized in topological order."""
+
+    name = "data"
+
+    def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:
+        order = graph.topological_order()
+        if not order:
+            raise ScheduleError("cannot schedule an empty task graph")
+        P = cluster.num_processors
+        procs = cluster.processors
+
+        schedule = Schedule(cluster, scheduler=self.name)
+        vertex_weights: Dict[str, float] = {}
+        edge_weights: Dict[Tuple[str, str], float] = {}
+        clock = 0.0
+        for t in order:
+            et = graph.et(t, P)
+            placement = PlacedTask(
+                name=t, start=clock, exec_start=clock, finish=clock + et,
+                processors=procs,
+            )
+            schedule.place(placement)
+            vertex_weights[t] = et
+            clock += et
+        for u, v in graph.edges():
+            # identical full-machine layouts: zero redistribution
+            edge_weights[(u, v)] = 0.0
+            schedule.edge_comm_times[(u, v)] = 0.0
+
+        sdag = ScheduleDAG(graph, vertex_weights, edge_weights)
+        # Record the full serialization so CP(G') equals the makespan.
+        for a, b in zip(order, order[1:]):
+            sdag.add_pseudo_edge(a, b)
+        return SchedulingResult(schedule=schedule, sdag=sdag)

@@ -1,0 +1,133 @@
+"""Classic locality-*unaware* priority list scheduling.
+
+CPR and CPA schedule their allocations with a conventional list scheduler
+(Kwok & Ahmad's survey style): tasks in decreasing bottom-level order, each
+placed on the ``np(t)`` processors that minimize its completion time, with
+per-processor latest-free-time bookkeeping, **no backfilling and no
+data-locality preference**. Redistribution is always paid in full at the
+allocation-estimate rate ``D / (min(np_u, np_v) * bw)`` — these schemes never
+look at which bytes are already resident, which is exactly the deficiency
+the paper's Fig 5 exposes at high CCR.
+
+The full estimated cost is an upper bound on the true locality-aware cost
+(non-local bytes <= total bytes at the same aggregate bandwidth), so the
+schedules remain feasible under the library's strict validator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.cluster import Cluster
+from repro.exceptions import ScheduleError
+from repro.graph import TaskGraph, bottom_levels
+from repro.graph.pseudo import ScheduleDAG
+from repro.schedule import PlacedTask, ProcessorTimeline, Schedule
+from repro.schedulers.base import SchedulingResult, clamp_allocation, edge_cost_map
+
+__all__ = ["list_schedule"]
+
+_PSEUDO_TOL = 1e-6
+
+
+def list_schedule(
+    graph: TaskGraph,
+    cluster: Cluster,
+    allocation: Mapping[str, int],
+) -> SchedulingResult:
+    """Priority list scheduling of a fixed allocation (CPA/CPR substrate)."""
+    alloc = clamp_allocation(graph, cluster, allocation)
+    g = graph.nx_graph()
+    est_costs = edge_cost_map(graph, cluster, alloc)
+    bl = bottom_levels(
+        g, lambda t: graph.et(t, alloc[t]), lambda u, v: est_costs[(u, v)]
+    )
+
+    timeline = ProcessorTimeline(cluster.processors)
+    schedule = Schedule(cluster, scheduler="list")
+    vertex_weights: Dict[str, float] = {}
+    pseudo: List[Tuple[str, str]] = []
+
+    n_preds = {t: len(graph.predecessors(t)) for t in graph.tasks()}
+    done_preds = {t: 0 for t in graph.tasks()}
+    unplaced = set(graph.tasks())
+    ready = sorted(
+        (t for t in unplaced if n_preds[t] == 0), key=lambda t: (-bl[t], t)
+    )
+
+    while unplaced:
+        if not ready:
+            raise ScheduleError("list scheduler stalled: cyclic graph?")
+        tp = ready.pop(0)
+        unplaced.discard(tp)
+        np_t = alloc[tp]
+        et = graph.et(tp, np_t)
+
+        # Data-ready time: parent finish + full estimated redistribution.
+        comm_in: Dict[Tuple[str, str], float] = {}
+        data_ready = 0.0
+        comm_total = 0.0
+        for u in graph.predecessors(tp):
+            ct = est_costs[(u, tp)]
+            comm_in[(u, tp)] = ct
+            comm_total += ct
+            arrival = schedule[u].finish + ct
+            if arrival > data_ready:
+                data_ready = arrival
+        parent_finish = max(
+            (schedule[u].finish for u in graph.predecessors(tp)), default=0.0
+        )
+
+        # Pick the np(t) processors with the earliest latest-free times.
+        ranked = sorted(
+            cluster.processors,
+            key=lambda p: (timeline.earliest_available(p), p),
+        )
+        chosen = tuple(sorted(ranked[:np_t]))
+        machine_ready = max(timeline.earliest_available(p) for p in chosen)
+
+        if cluster.overlap:
+            exec_start = max(machine_ready, data_ready)
+            start = exec_start
+        else:
+            start = max(machine_ready, parent_finish)
+            exec_start = start + comm_total
+        finish = exec_start + et
+
+        placement = PlacedTask(
+            name=tp, start=start, exec_start=exec_start, finish=finish,
+            processors=chosen,
+        )
+        timeline.reserve(chosen, start, finish)
+        schedule.place(placement)
+        schedule.edge_comm_times.update(comm_in)
+        vertex_weights[tp] = et
+
+        if start > data_ready + _PSEUDO_TOL and start > parent_finish + _PSEUDO_TOL:
+            blocker = _latest_sharing(schedule, placement, start)
+            if blocker is not None:
+                pseudo.append((blocker, tp))
+
+        for succ in graph.successors(tp):
+            done_preds[succ] += 1
+            if done_preds[succ] == n_preds[succ]:
+                ready.append(succ)
+        ready.sort(key=lambda t: (-bl[t], t))
+
+    sdag = ScheduleDAG(graph, vertex_weights, est_costs)
+    for u, v in pseudo:
+        sdag.add_pseudo_edge(u, v)
+    return SchedulingResult(schedule=schedule, sdag=sdag)
+
+
+def _latest_sharing(schedule: Schedule, placement: PlacedTask, start: float):
+    """The latest-finishing task sharing a processor that ended by *start*."""
+    mine = set(placement.processors)
+    best = None
+    for other in schedule:
+        if other.name == placement.name or not mine & set(other.processors):
+            continue
+        if other.finish <= start + _PSEUDO_TOL:
+            if best is None or other.finish > best[0]:
+                best = (other.finish, other.name)
+    return None if best is None else best[1]

@@ -1,0 +1,351 @@
+"""LoCBS — Locality Conscious Backfill Scheduling (paper Algorithm 2).
+
+Given a task graph and a fixed processor allocation ``np(t)``, LoCBS maps
+each task to a concrete processor set and start time:
+
+1. Among ready tasks (all predecessors placed), pick the one with the
+   highest priority ``bottomL(t) + max_parent wt(e)`` — bottom levels use the
+   allocation-time cost model.
+2. Probe every *hole* of the 2-D chart that could hold the task: candidate
+   start times are the ready time plus every interval boundary after it (the
+   only instants at which the idle set changes).
+3. In each hole, take the processor subset with maximum *locality* (bytes of
+   the task's input data already resident), time the inbound block-cyclic
+   redistribution, and keep the placement minimizing the task's finish time.
+4. If the task started later than its data-ready time, the wait was induced
+   by resource contention: add zero-weight *pseudo-edges* from the tasks
+   whose completion released the processors, building the schedule-DAG
+   ``G'`` that the LoC-MPS outer loop analyses.
+
+With ``cluster.overlap=False``, the inbound redistribution also occupies the
+destination processors (the busy rectangle becomes ``comm + comp``) —
+sender-side occupancy is not modelled, matching the asymmetric I/O cost the
+paper attributes to non-overlapping systems.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster import Cluster
+from repro.exceptions import ScheduleError
+from repro.graph import TaskGraph, bottom_levels
+from repro.graph.pseudo import ScheduleDAG
+from repro.redistribution import RedistributionModel
+from repro.schedule import PlacedTask, ProcessorTimeline, Schedule
+from repro.schedulers.base import SchedulingResult, clamp_allocation, edge_cost_map
+from repro.schedulers.context import SchedulingContext
+from repro.utils.intervals import EPS
+
+__all__ = ["LocbsOptions", "locbs_schedule"]
+
+#: tolerance when matching a blocked start time against finish times
+_PSEUDO_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class LocbsOptions:
+    """Behaviour switches for the LoCBS engine.
+
+    ``backfill``
+        ``True`` probes every hole of the chart (full Algorithm 2);
+        ``False`` degrades to latest-free-time placement — the cheaper
+        variant of the paper's Fig 6 ablation (see
+        :func:`repro.schedulers.nobackfill.nobackfill_schedule`).
+    ``comm_blind``
+        Treat every data volume as zero when *timing* the schedule. Used to
+        reproduce iCASLB, which assumes negligible inter-task communication.
+    ``locality_blind``
+        Ignore resident data when choosing processor subsets (ablation of
+        the paper's headline idea): transfers are still paid at their true
+        locality-aware cost, but placement no longer seeks reuse.
+    """
+
+    backfill: bool = True
+    comm_blind: bool = False
+    locality_blind: bool = False
+
+
+def locbs_schedule(
+    graph: TaskGraph,
+    cluster: Cluster,
+    allocation: Mapping[str, int],
+    options: LocbsOptions = LocbsOptions(),
+    context: Optional["SchedulingContext"] = None,
+) -> SchedulingResult:
+    """Schedule *graph* under *allocation* with locality-conscious backfill.
+
+    *context* (optional) pins mid-execution machine state: processors busy
+    until given release times, and data from already-finished producers
+    resident on concrete processor sets (see
+    :mod:`repro.schedulers.context`). Used by the on-line rescheduling
+    framework.
+    """
+    alloc = clamp_allocation(graph, cluster, allocation)
+    model = RedistributionModel(cluster)
+    g = graph.nx_graph()
+
+    # Priorities (Algorithm 2, step 4): bottom level under the current
+    # allocation plus the heaviest inbound edge estimate.
+    est_costs = edge_cost_map(graph, cluster, alloc, comm_blind=options.comm_blind)
+    bl = bottom_levels(
+        g,
+        lambda t: graph.et(t, alloc[t]),
+        lambda u, v: est_costs[(u, v)],
+    )
+
+    def priority(t: str) -> float:
+        preds = graph.predecessors(t)
+        max_in = max((est_costs[(u, t)] for u in preds), default=0.0)
+        return bl[t] + max_in
+
+    timeline = ProcessorTimeline(cluster.processors)
+    if context is not None:
+        for proc, ready in context.processor_ready.items():
+            if ready > 0:
+                timeline.reserve([proc], 0.0, ready)
+    schedule = Schedule(cluster, scheduler="locbs")
+    vertex_weights: Dict[str, float] = {}
+    edge_weights: Dict[Tuple[str, str], float] = {}
+    sdag_pseudo: List[Tuple[str, str]] = []
+
+    unplaced = set(graph.tasks())
+    placed_count: Dict[str, int] = {t: 0 for t in graph.tasks()}
+    n_preds = {t: len(graph.predecessors(t)) for t in graph.tasks()}
+    ready = sorted(
+        (t for t in unplaced if n_preds[t] == 0),
+        key=lambda t: (-priority(t), t),
+    )
+
+    while unplaced:
+        if not ready:
+            raise ScheduleError("no ready task but tasks remain: cyclic graph?")
+        tp = ready.pop(0)
+        unplaced.discard(tp)
+
+        placement, comm_times, est_tp = _place_task(
+            tp, graph, cluster, alloc, model, timeline, schedule, options,
+            context,
+        )
+        occupied_from = placement.start
+        timeline.reserve(placement.processors, placement.start, placement.finish)
+        schedule.place(placement)
+        for (u, v), ct in comm_times.items():
+            schedule.edge_comm_times[(u, v)] = ct
+            edge_weights[(u, v)] = ct  # non-graph (external) keys are ignored
+                                       # by the ScheduleDAG constructor
+        vertex_weights[tp] = placement.exec_duration
+
+        # Pseudo-edges (Algorithm 2, steps 17-18): the task waited on
+        # resources, not data — record which finishing tasks released them.
+        if occupied_from > est_tp + _PSEUDO_TOL:
+            for blocker in _find_blockers(schedule, placement, occupied_from):
+                sdag_pseudo.append((blocker, tp))
+
+        for succ in graph.successors(tp):
+            placed_count[succ] += 1
+            if placed_count[succ] == n_preds[succ] and succ in unplaced:
+                ready.append(succ)
+        ready.sort(key=lambda t: (-priority(t), t))
+
+    sdag = ScheduleDAG(graph, vertex_weights, edge_weights)
+    for u, v in sdag_pseudo:
+        sdag.add_pseudo_edge(u, v)
+    return SchedulingResult(schedule=schedule, sdag=sdag)
+
+
+def _place_task(
+    tp: str,
+    graph: TaskGraph,
+    cluster: Cluster,
+    alloc: Mapping[str, int],
+    model: RedistributionModel,
+    timeline: ProcessorTimeline,
+    schedule: Schedule,
+    options: LocbsOptions,
+    context: Optional["SchedulingContext"] = None,
+) -> Tuple[PlacedTask, Dict[Tuple[str, str], float], float]:
+    """Find the minimum-finish-time hole for *tp* (Algorithm 2, steps 5-16).
+
+    Returns the placement, the actual per-in-edge communication times, and
+    ``est(tp)`` (the data-ready lower bound used for pseudo-edge detection).
+    """
+    np_t = alloc[tp]
+    et = graph.et(tp, np_t)
+    parents = graph.predecessors(tp)
+    parent_info: List[Tuple[str, Tuple[int, ...], float, float]] = []
+    for u in parents:
+        pu = schedule[u]
+        volume = 0.0 if options.comm_blind else graph.data_volume(u, tp)
+        parent_info.append((u, pu.processors, pu.finish, volume))
+    if context is not None:
+        for ext in context.inputs_for(tp):
+            volume = 0.0 if options.comm_blind else ext.volume
+            parent_info.append(
+                (f"__ext__{ext.label}", ext.processors, ext.ready_time, volume)
+            )
+
+    ready_base = max((ft for _, _, ft, _ in parent_info), default=0.0)
+
+    # Per-processor locality score: bytes of tp's input already resident.
+    # Sparse: empty when the task has no incoming data (CCR=0, comm-blind),
+    # which lets the subset selection skip locality ranking entirely.
+    locality: Dict[int, float] = {}
+    if not options.locality_blind:
+        for _, procs, _, volume in parent_info:
+            if volume > 0:
+                share = volume / len(procs)
+                for p in procs:
+                    locality[p] = locality.get(p, 0.0) + share
+
+    if options.backfill:
+        # Only busy-interval *ends* can enlarge the idle set, so they (plus
+        # the data-ready time) are the only start times worth probing.
+        candidates = [ready_base] + timeline.release_times(ready_base)
+    else:
+        eats = sorted({timeline.earliest_available(p) for p in cluster.processors})
+        candidates = sorted({ready_base} | {t for t in eats if t > ready_base + EPS})
+
+    best: Optional[Tuple[float, float, float, Tuple[int, ...]]] = None
+    # best = (finish, start, exec_start, procs)
+
+    for tau in candidates:
+        if best is not None and tau + et >= best[0] - EPS:
+            break  # no later start can beat the current finish time
+        if options.backfill:
+            free = timeline.idle_with_horizon(tau)
+        else:
+            free = [
+                (p, float("inf"))
+                for p in cluster.processors
+                if timeline.earliest_available(p) <= tau + EPS
+            ]
+        if len(free) < np_t:
+            continue
+        # First try the maximum-locality subset; if its hole is too short
+        # for the resulting window, retry among processors whose idle hole
+        # covers it (Algorithm 2 only considers holes with dur >= et).
+        chosen = _pick_by_locality(free, np_t, locality)
+        trial = _time_placement(chosen, tau, et, parent_info, model, cluster.overlap)
+        start, exec_start, finish = trial
+        if not timeline.is_free(chosen, start, finish):
+            roomy = [ph for ph in free if ph[1] >= finish - EPS]
+            if len(roomy) < np_t:
+                continue
+            chosen = _pick_by_locality(roomy, np_t, locality)
+            trial = _time_placement(
+                chosen, tau, et, parent_info, model, cluster.overlap
+            )
+            start, exec_start, finish = trial
+            if not timeline.is_free(chosen, start, finish):
+                continue
+        if best is None or finish < best[0] - EPS:
+            best = (finish, start, exec_start, chosen)
+
+    if best is None:
+        # Unreachable: the final candidate (the chart horizon) always has all
+        # processors free forever. Guard anyway.
+        raise ScheduleError(f"no feasible slot found for task {tp!r}")
+
+    finish, start, exec_start, chosen = best
+    placement = PlacedTask(
+        name=tp, start=start, exec_start=exec_start, finish=finish, processors=chosen
+    )
+    comm_times = {
+        (u, tp): model.transfer_time(procs, chosen, volume)
+        for u, procs, _, volume in parent_info
+    }
+    est_tp = max(
+        (ft + comm_times[(u, tp)] for u, _, ft, _ in parent_info),
+        default=0.0,
+    )
+    return placement, comm_times, est_tp
+
+
+def _pick_by_locality(
+    free: Sequence[Tuple[int, float]],
+    np_t: int,
+    locality: Mapping[int, float],
+) -> Tuple[int, ...]:
+    """Choose ``np_t`` processors from *free* with maximum resident data.
+
+    *free* holds ``(processor, next_busy_start)`` pairs. Ties prefer
+    processors that stay idle longer (they are less likely to make the
+    window infeasible), then lower indices for determinism. The returned
+    tuple is sorted ascending: processor-set order defines the block-cyclic
+    layout, and a canonical order makes any producer/consumer pair with
+    identical sets perfectly local.
+    """
+    if len(free) == np_t:
+        return tuple(sorted(ph[0] for ph in free))
+    if locality:
+        get = locality.get
+        picked = heapq.nsmallest(
+            np_t, free, key=lambda ph: (-get(ph[0], 0.0), -ph[1], ph[0])
+        )
+    else:
+        # CCR=0 / comm-blind fast path: no resident data anywhere, rank by
+        # idle horizon only.
+        picked = heapq.nsmallest(np_t, free, key=lambda ph: (-ph[1], ph[0]))
+    return tuple(sorted(ph[0] for ph in picked))
+
+
+def _time_placement(
+    chosen: Tuple[int, ...],
+    tau: float,
+    et: float,
+    parent_info: Sequence[Tuple[str, Tuple[int, ...], float, float]],
+    model: RedistributionModel,
+    overlap: bool,
+) -> Optional[Tuple[float, float, float]]:
+    """``(start, exec_start, finish)`` of placing the task at hole start *tau*.
+
+    With overlap, redistribution only delays the computation start; without,
+    it serializes on the destination processors ahead of the computation.
+    """
+    if overlap:
+        data_ready = tau
+        for _, procs, ft, volume in parent_info:
+            arrival = ft + model.transfer_time(procs, chosen, volume)
+            if arrival > data_ready:
+                data_ready = arrival
+        exec_start = max(tau, data_ready)
+        return exec_start, exec_start, exec_start + et
+    comm = 0.0
+    ready = tau
+    for _, procs, ft, volume in parent_info:
+        comm += model.transfer_time(procs, chosen, volume)
+        if ft > ready:
+            ready = ft
+    start = max(tau, ready)
+    exec_start = start + comm
+    return start, exec_start, exec_start + et
+
+
+def _find_blockers(
+    schedule: Schedule, placement: PlacedTask, blocked_start: float
+) -> List[str]:
+    """Tasks whose completion released processors to *placement*.
+
+    Per the paper: tasks ``ti`` with ``ft(ti) == st(tp)`` sharing a
+    processor. When rounding leaves no exact match, fall back to the
+    latest-finishing processor-sharing task that ended before the start.
+    """
+    mine = set(placement.processors)
+    exact: List[str] = []
+    latest: Optional[Tuple[float, str]] = None
+    for other in schedule:
+        if other.name == placement.name or not mine & set(other.processors):
+            continue
+        if abs(other.finish - blocked_start) <= _PSEUDO_TOL:
+            exact.append(other.name)
+        elif other.finish < blocked_start + _PSEUDO_TOL:
+            if latest is None or other.finish > latest[0]:
+                latest = (other.finish, other.name)
+    if exact:
+        return sorted(exact)
+    if latest is not None:
+        return [latest[1]]
+    return []

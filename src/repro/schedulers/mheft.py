@@ -1,0 +1,129 @@
+"""M-HEFT-style one-step width-and-placement scheduling.
+
+Casanova & Suter's M-HEFT family (HCW/Europar 2004, contemporaneous with
+the paper) generalizes HEFT to mixed parallelism: tasks are visited in
+decreasing bottom-level order and each task tries *every* width
+``p = 1..P`` on the earliest-available processors, committing to the
+(width, processor set) pair with the earliest finish time. Unlike LoC-MPS
+there is no global allocation loop and no look-ahead — width choices are
+purely local — and unlike LoCBS the placement ignores data locality
+(redistribution is charged at the allocation estimate).
+
+Included as a related-work extension baseline: it is stronger than CPA
+(width chosen per task against the actual machine state, not a static
+average-area bound) but still one-step, which is exactly the gap the
+paper's iterative refinement exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cluster import Cluster
+from repro.exceptions import ScheduleError
+from repro.graph import TaskGraph, bottom_levels
+from repro.graph.pseudo import ScheduleDAG
+from repro.redistribution import estimate_edge_cost
+from repro.schedule import PlacedTask, ProcessorTimeline, Schedule
+from repro.schedulers.base import Scheduler, SchedulingResult, edge_cost_map
+
+__all__ = ["MHeftScheduler"]
+
+
+class MHeftScheduler(Scheduler):
+    """Per-task earliest-finish-time width selection (M-HEFT style)."""
+
+    name = "mheft"
+
+    def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:
+        tasks = graph.tasks()
+        if not tasks:
+            raise ScheduleError("cannot schedule an empty task graph")
+        P = cluster.num_processors
+        bandwidth = cluster.bandwidth
+
+        # Priorities at the one-processor reference allocation.
+        alloc1 = {t: 1 for t in tasks}
+        ref_costs = edge_cost_map(graph, cluster, alloc1)
+        bl = bottom_levels(
+            graph.nx_graph(), lambda t: graph.et(t, 1),
+            lambda u, v: ref_costs[(u, v)],
+        )
+
+        timeline = ProcessorTimeline(cluster.processors)
+        schedule = Schedule(cluster, scheduler=self.name)
+        vertex_weights: Dict[str, float] = {}
+        edge_weights: Dict[Tuple[str, str], float] = {}
+
+        n_preds = {t: len(graph.predecessors(t)) for t in tasks}
+        done_preds = {t: 0 for t in tasks}
+        ready = sorted(
+            (t for t in tasks if n_preds[t] == 0), key=lambda t: (-bl[t], t)
+        )
+        unplaced = set(tasks)
+
+        while unplaced:
+            if not ready:
+                raise ScheduleError("M-HEFT stalled: cyclic graph?")
+            tp = ready.pop(0)
+            unplaced.discard(tp)
+            limit = min(P, graph.task(tp).profile.pbest(P))
+            parents = graph.predecessors(tp)
+            parent_finish = max(
+                (schedule[u].finish for u in parents), default=0.0
+            )
+
+            # Processors sorted once by availability; width p takes the
+            # p earliest-free processors (the M-HEFT "first fit" rule).
+            ranked = sorted(
+                cluster.processors,
+                key=lambda p: (timeline.earliest_available(p), p),
+            )
+            best: Optional[Tuple[float, float, float, Tuple[int, ...], Dict]] = None
+            for width in range(1, limit + 1):
+                procs = tuple(sorted(ranked[:width]))
+                machine_ready = max(
+                    timeline.earliest_available(p) for p in procs
+                )
+                et = graph.et(tp, width)
+                comm: Dict[Tuple[str, str], float] = {}
+                comm_total = 0.0
+                data_ready = 0.0
+                for u in parents:
+                    ct = estimate_edge_cost(
+                        schedule[u].width, width,
+                        graph.data_volume(u, tp), bandwidth,
+                    )
+                    comm[(u, tp)] = ct
+                    comm_total += ct
+                    data_ready = max(data_ready, schedule[u].finish + ct)
+                if cluster.overlap:
+                    exec_start = max(machine_ready, data_ready)
+                    start = exec_start
+                else:
+                    start = max(machine_ready, parent_finish)
+                    exec_start = start + comm_total
+                finish = exec_start + et
+                if best is None or finish < best[0] - 1e-12:
+                    best = (finish, start, exec_start, procs, comm)
+
+            assert best is not None
+            finish, start, exec_start, procs, comm = best
+            placement = PlacedTask(
+                name=tp, start=start, exec_start=exec_start,
+                finish=finish, processors=procs,
+            )
+            timeline.reserve(procs, start, finish)
+            schedule.place(placement)
+            schedule.edge_comm_times.update(comm)
+            edge_weights.update(comm)
+            vertex_weights[tp] = finish - exec_start
+
+            for succ in graph.successors(tp):
+                done_preds[succ] += 1
+                if done_preds[succ] == n_preds[succ]:
+                    ready.append(succ)
+            ready.sort(key=lambda t: (-bl[t], t))
+
+        sdag = ScheduleDAG(graph, vertex_weights, edge_weights)
+        return SchedulingResult(schedule=schedule, sdag=sdag)

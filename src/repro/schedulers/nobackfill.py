@@ -1,0 +1,38 @@
+"""The no-backfill ablation of LoCBS (paper Fig 6).
+
+The variant "schedules a task on the subset of processors that gives its
+minimum completion time while taking into account the data locality, but
+keeps track of only the latest free time of each processor rather than the
+idle slots in the schedule" — i.e. it never moves a task into a hole left
+behind earlier in the chart. It reuses the LoCBS engine with hole probing
+replaced by latest-free-time probing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cluster import Cluster
+from repro.graph import TaskGraph
+from repro.schedulers.base import SchedulingResult
+from repro.schedulers.locbs import LocbsOptions, locbs_schedule
+
+__all__ = ["nobackfill_schedule"]
+
+
+def nobackfill_schedule(
+    graph: TaskGraph,
+    cluster: Cluster,
+    allocation: Mapping[str, int],
+    *,
+    comm_blind: bool = False,
+) -> SchedulingResult:
+    """Locality-aware scheduling without backfilling."""
+    result = locbs_schedule(
+        graph,
+        cluster,
+        allocation,
+        LocbsOptions(backfill=False, comm_blind=comm_blind),
+    )
+    result.schedule.scheduler = "locbs-nobackfill"
+    return result

@@ -1,0 +1,217 @@
+"""Prasanna–Musicus optimal allocation for series-parallel programs.
+
+Prasanna & Musicus (SPAA 1991, cited by the paper's related work) derived
+closed-form optimal processor allocations for *series-parallel* task
+structures whose tasks obey the power-law speedup ``et(t, p) = w_t /
+p^alpha`` with a common exponent ``alpha in (0, 1]``, treating processors
+as a continuously divisible resource:
+
+* a **series** composition runs its children one after another on all
+  available processors, so its *effective work* is the sum
+  ``W = sum_i W_i``;
+* a **parallel** composition splits the processors so all branches finish
+  together: branch ``i`` gets a share proportional to ``W_i^(1/alpha)``,
+  giving the effective work ``W = (sum_i W_i^(1/alpha))^alpha``.
+
+The optimal completion time on ``q`` processors is then ``W / q^alpha``.
+
+This module provides (a) the SP expression combinators (:func:`leaf`,
+:func:`series`, :func:`parallel`), (b) the exact continuous solution, and
+(c) :class:`PrasannaMusicusScheduler`, which fits a common ``alpha`` to an
+arbitrary task graph's profiles, extracts integer allocations from the
+continuous shares, and realizes them with LoCBS. On genuinely SP graphs
+with power-law speedups the continuous time is a true optimum, which the
+tests exploit as an oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import Cluster
+from repro.exceptions import ScheduleError
+from repro.graph import TaskGraph
+from repro.schedulers.base import Scheduler, SchedulingResult
+from repro.schedulers.locbs import locbs_schedule
+
+__all__ = [
+    "SPNode",
+    "leaf",
+    "series",
+    "parallel",
+    "continuous_optimum",
+    "continuous_allocation",
+    "PrasannaMusicusScheduler",
+]
+
+
+@dataclass(frozen=True)
+class SPNode:
+    """A node of a series-parallel expression tree.
+
+    ``kind`` is ``"leaf"`` (with ``name``/``work``), ``"series"`` or
+    ``"parallel"`` (with ``children``).
+    """
+
+    kind: str
+    name: Optional[str] = None
+    work: float = 0.0
+    children: Tuple["SPNode", ...] = ()
+
+    def leaves(self) -> List["SPNode"]:
+        if self.kind == "leaf":
+            return [self]
+        out: List[SPNode] = []
+        for c in self.children:
+            out.extend(c.leaves())
+        return out
+
+
+def leaf(name: str, work: float) -> SPNode:
+    """A single task with sequential work *work*."""
+    if work <= 0:
+        raise ScheduleError(f"leaf work must be > 0, got {work}")
+    return SPNode(kind="leaf", name=name, work=float(work))
+
+
+def series(*children: SPNode) -> SPNode:
+    """Children execute one after another."""
+    if not children:
+        raise ScheduleError("series() needs at least one child")
+    return SPNode(kind="series", children=tuple(children))
+
+
+def parallel(*children: SPNode) -> SPNode:
+    """Children execute concurrently (no dependences between them)."""
+    if not children:
+        raise ScheduleError("parallel() needs at least one child")
+    return SPNode(kind="parallel", children=tuple(children))
+
+
+def effective_work(node: SPNode, alpha: float) -> float:
+    """Prasanna–Musicus effective work ``W`` of an SP expression."""
+    if not (0 < alpha <= 1):
+        raise ScheduleError(f"alpha must be in (0, 1], got {alpha}")
+    if node.kind == "leaf":
+        return node.work
+    if node.kind == "series":
+        return sum(effective_work(c, alpha) for c in node.children)
+    if node.kind == "parallel":
+        return sum(
+            effective_work(c, alpha) ** (1.0 / alpha) for c in node.children
+        ) ** alpha
+    raise ScheduleError(f"unknown SP node kind {node.kind!r}")
+
+
+def continuous_optimum(node: SPNode, processors: float, alpha: float) -> float:
+    """Optimal completion time ``W / q^alpha`` on *processors* (continuous)."""
+    if processors <= 0:
+        raise ScheduleError(f"processors must be > 0, got {processors}")
+    return effective_work(node, alpha) / processors**alpha
+
+
+def continuous_allocation(
+    node: SPNode, processors: float, alpha: float
+) -> Dict[str, float]:
+    """Per-leaf (possibly fractional) processor shares of the optimum.
+
+    Series children inherit the full share; parallel children split it
+    proportionally to ``W_i^(1/alpha)``.
+    """
+    shares: Dict[str, float] = {}
+
+    def walk(n: SPNode, q: float) -> None:
+        if n.kind == "leaf":
+            shares[n.name] = q
+            return
+        if n.kind == "series":
+            for c in n.children:
+                walk(c, q)
+            return
+        weights = [
+            effective_work(c, alpha) ** (1.0 / alpha) for c in n.children
+        ]
+        total = sum(weights)
+        for c, w in zip(n.children, weights):
+            walk(c, q * w / total)
+
+    walk(node, float(processors))
+    return shares
+
+
+def fit_alpha(graph: TaskGraph, num_processors: int) -> float:
+    """Least-squares power-law exponent across the graph's profiles.
+
+    Fits ``log S(p) ~ alpha log p`` over ``p = 2 .. P`` for every task and
+    averages; clipped to ``(0.01, 1]`` as the model requires.
+    """
+    num = 0.0
+    den = 0.0
+    for t in graph.tasks():
+        profile = graph.task(t).profile
+        for p in range(2, num_processors + 1):
+            x = math.log(p)
+            s = profile.time(1) / profile.time(p)
+            if s <= 0:
+                continue
+            num += x * math.log(s)
+            den += x * x
+    if den == 0:
+        return 1.0
+    return min(1.0, max(0.01, num / den))
+
+
+class PrasannaMusicusScheduler(Scheduler):
+    """Power-law continuous allocation (Prasanna–Musicus) + LoCBS placement.
+
+    When the DAG admits an exact series-parallel decomposition
+    (:func:`repro.graph.sp.sp_decompose`), the optimal expression is used
+    directly; otherwise the SP expression is approximated by layering:
+    tasks at the same depth form a parallel composition and consecutive
+    layers compose in series.
+    """
+
+    name = "pm"
+
+    def __init__(self, *, alpha: Optional[float] = None) -> None:
+        self.alpha = alpha
+
+    @staticmethod
+    def _layered_expression(graph: TaskGraph) -> SPNode:
+        depth: Dict[str, int] = {}
+        for t in graph.topological_order():
+            preds = graph.predecessors(t)
+            depth[t] = 1 + max((depth[u] for u in preds), default=-1)
+        layers: Dict[int, List[str]] = {}
+        for t, d in depth.items():
+            layers.setdefault(d, []).append(t)
+        layer_nodes = []
+        for d in sorted(layers):
+            leaves = [
+                leaf(t, graph.sequential_time(t)) for t in sorted(layers[d])
+            ]
+            layer_nodes.append(
+                leaves[0] if len(leaves) == 1 else parallel(*leaves)
+            )
+        return layer_nodes[0] if len(layer_nodes) == 1 else series(*layer_nodes)
+
+    def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:
+        if not graph.tasks():
+            raise ScheduleError("cannot schedule an empty task graph")
+        P = cluster.num_processors
+        alpha = self.alpha if self.alpha is not None else fit_alpha(graph, P)
+        from repro.graph.sp import sp_decompose  # deferred: avoids an
+        # import cycle (graph.sp reuses this module's SP combinators)
+
+        expr = sp_decompose(graph) or self._layered_expression(graph)
+        shares = continuous_allocation(expr, P, alpha)
+
+        alloc: Dict[str, int] = {}
+        for t in graph.tasks():
+            cap = graph.task(t).profile.pbest(P)
+            alloc[t] = max(1, min(P, cap, round(shares[t])))
+        result = locbs_schedule(graph, cluster, alloc)
+        result.schedule.scheduler = self.name
+        return result

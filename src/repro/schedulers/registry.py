@@ -1,0 +1,52 @@
+"""Name -> scheduler factory registry used by experiments and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cpa import CpaScheduler
+from repro.schedulers.cpr import CprScheduler
+from repro.schedulers.data_parallel import DataParallelScheduler
+from repro.schedulers.grid_based import GridBasedScheduler
+from repro.schedulers.icaslb import IcaslbScheduler
+from repro.schedulers.locmps import LocMpsScheduler
+from repro.schedulers.mheft import MHeftScheduler
+from repro.schedulers.prasanna import PrasannaMusicusScheduler
+from repro.schedulers.task_parallel import TaskParallelScheduler
+from repro.schedulers.tsas import TsasScheduler
+
+__all__ = ["SCHEDULERS", "get_scheduler", "scheduler_names"]
+
+SCHEDULERS: Dict[str, Callable[[], Scheduler]] = {
+    "locmps": LocMpsScheduler,
+    "locmps-nobackfill": lambda: LocMpsScheduler(backfill=False),
+    "icaslb": IcaslbScheduler,
+    "cpr": CprScheduler,
+    "cpa": CpaScheduler,
+    "task": TaskParallelScheduler,
+    "data": DataParallelScheduler,
+    # extensions beyond the paper's evaluation
+    "tsas": TsasScheduler,
+    "pm": PrasannaMusicusScheduler,
+    "grid": GridBasedScheduler,
+    "mheft": MHeftScheduler,
+}
+
+#: the six schemes of the paper's evaluation, in its plotting order
+PAPER_SCHEMES: List[str] = ["locmps", "icaslb", "cpr", "cpa", "task", "data"]
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
+    return factory()
+
+
+def scheduler_names() -> List[str]:
+    """All registered scheduler names."""
+    return sorted(SCHEDULERS)

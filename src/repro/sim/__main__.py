@@ -1,0 +1,5 @@
+"""``python -m repro.sim`` — schedule replay / rendering CLI."""
+
+from repro.sim.cli import main
+
+main()

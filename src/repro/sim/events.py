@@ -1,0 +1,36 @@
+"""Event records emitted by the execution engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.Enum):
+    """What happened at an event timestamp."""
+
+    TRANSFER_START = "transfer_start"
+    TRANSFER_END = "transfer_end"
+    TASK_START = "task_start"
+    TASK_END = "task_end"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence in a simulated execution.
+
+    ``edge`` is set for transfer events (``(src_task, dst_task)``); ``task``
+    is set for task events.
+    """
+
+    time: float
+    kind: EventKind
+    task: Optional[str] = None
+    edge: Optional[Tuple[str, str]] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        what = self.task if self.task is not None else self.edge
+        return f"Event({self.time:.4f}, {self.kind.value}, {what!r})"

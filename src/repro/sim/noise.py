@@ -1,0 +1,71 @@
+"""Stochastic perturbation models for the execution engine.
+
+Real runs never match profiled estimates exactly: cache effects, OS jitter,
+and network contention skew both computation and communication. The paper's
+Fig 11 executes schedules on real hardware; we replay them with
+multiplicative noise instead. Lognormal factors are the conventional choice
+for runtime variability (always positive, right-skewed, median 1).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["NoiseModel", "NoNoise", "LognormalNoise"]
+
+
+class NoiseModel(abc.ABC):
+    """Draws multiplicative perturbation factors for durations/bandwidths."""
+
+    @abc.abstractmethod
+    def duration_factor(self, rng: np.random.Generator) -> float:
+        """Factor applied to a task's execution time (> 0)."""
+
+    @abc.abstractmethod
+    def bandwidth_factor(self, rng: np.random.Generator) -> float:
+        """Factor applied to the network bandwidth (> 0)."""
+
+
+class NoNoise(NoiseModel):
+    """Exact replay: every factor is 1."""
+
+    def duration_factor(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+    def bandwidth_factor(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NoNoise()"
+
+
+class LognormalNoise(NoiseModel):
+    """Lognormal multiplicative noise with median 1.
+
+    ``sigma_compute`` / ``sigma_network`` are the log-space standard
+    deviations; 0.1 corresponds to roughly +/-10% typical deviation.
+    """
+
+    def __init__(self, sigma_compute: float = 0.1, sigma_network: float = 0.15) -> None:
+        self.sigma_compute = check_non_negative(sigma_compute, "sigma_compute")
+        self.sigma_network = check_non_negative(sigma_network, "sigma_network")
+
+    def duration_factor(self, rng: np.random.Generator) -> float:
+        if self.sigma_compute == 0:
+            return 1.0
+        return float(rng.lognormal(mean=0.0, sigma=self.sigma_compute))
+
+    def bandwidth_factor(self, rng: np.random.Generator) -> float:
+        if self.sigma_network == 0:
+            return 1.0
+        return float(rng.lognormal(mean=0.0, sigma=self.sigma_network))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LognormalNoise(sigma_compute={self.sigma_compute:g}, "
+            f"sigma_network={self.sigma_network:g})"
+        )

@@ -1,0 +1,35 @@
+"""Speedup models and per-task execution-time profiles.
+
+A *malleable* task's execution time is ``et(t, p) = et(t, 1) / S(p)`` where
+``S`` is a speedup function. This package provides the speedup families used
+by the paper and its baselines:
+
+* :class:`DowneySpeedup` — Downey's two-parameter model ``(A, sigma)`` used
+  for all synthetic experiments (Figs 4–6).
+* :class:`AmdahlSpeedup` — classic serial-fraction model, used to synthesize
+  application task profiles (Figs 8–11).
+* :class:`LinearSpeedup` — ideal scaling, used by the paper's Fig 3 worked
+  example.
+* :class:`TableSpeedup` — an explicitly profiled ``p -> time`` table, used by
+  the Fig 1/2 worked examples and available for user-measured profiles.
+
+:class:`ExecutionProfile` binds a sequential time to a model and answers the
+queries the schedulers need: ``time(p)``, ``gain(p)``, and ``pbest(P)`` (the
+least processor count achieving the minimum execution time).
+"""
+
+from repro.speedup.base import SpeedupModel
+from repro.speedup.downey import DowneySpeedup
+from repro.speedup.amdahl import AmdahlSpeedup
+from repro.speedup.linear import LinearSpeedup
+from repro.speedup.table import TableSpeedup
+from repro.speedup.profiles import ExecutionProfile
+
+__all__ = [
+    "SpeedupModel",
+    "DowneySpeedup",
+    "AmdahlSpeedup",
+    "LinearSpeedup",
+    "TableSpeedup",
+    "ExecutionProfile",
+]

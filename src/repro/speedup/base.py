@@ -1,0 +1,35 @@
+"""Abstract speedup-model interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SpeedupModel"]
+
+
+class SpeedupModel(abc.ABC):
+    """A speedup function ``S(n)`` over processor counts ``n >= 1``.
+
+    Implementations must guarantee ``S(1) == 1`` and ``S`` non-decreasing in
+    ``n`` (adding processors never slows a task down in this model; schedulers
+    that must not over-allocate use ``ExecutionProfile.pbest`` to cap growth).
+    """
+
+    @abc.abstractmethod
+    def speedup(self, n: int) -> float:
+        """Speedup on *n* processors relative to one processor."""
+
+    def execution_time(self, sequential_time: float, n: int) -> float:
+        """``et(p) = et(1) / S(p)`` for this model."""
+        n = check_positive_int(n, "n")
+        if sequential_time < 0:
+            raise ValueError(f"sequential_time must be >= 0, got {sequential_time}")
+        s = self.speedup(n)
+        if s <= 0:
+            raise ValueError(f"speedup model returned non-positive S({n}) = {s}")
+        return sequential_time / s
+
+    def __call__(self, n: int) -> float:
+        return self.speedup(n)

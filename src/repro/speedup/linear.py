@@ -1,0 +1,31 @@
+"""Ideal (linear) speedup, optionally capped at a maximum width."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.speedup.base import SpeedupModel
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LinearSpeedup"]
+
+
+class LinearSpeedup(SpeedupModel):
+    """``S(n) = min(n, cap)`` — perfect scaling up to an optional cap.
+
+    The paper's Fig 3 look-ahead example assumes exactly this model.
+    """
+
+    __slots__ = ("cap",)
+
+    def __init__(self, cap: Optional[int] = None) -> None:
+        self.cap = None if cap is None else check_positive_int(cap, "cap")
+
+    def speedup(self, n: int) -> float:
+        n = check_positive_int(n, "n")
+        if self.cap is not None:
+            return float(min(n, self.cap))
+        return float(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearSpeedup(cap={self.cap!r})"

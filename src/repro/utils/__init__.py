@@ -1,0 +1,23 @@
+"""Shared utilities: argument validation, RNG handling, interval algebra."""
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_positive_int,
+    check_in_range,
+    check_type,
+)
+from repro.utils.rng import as_generator, spawn_child
+from repro.utils.intervals import Interval, IntervalSet
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_in_range",
+    "check_type",
+    "as_generator",
+    "spawn_child",
+    "Interval",
+    "IntervalSet",
+]

@@ -1,0 +1,250 @@
+"""Half-open time-interval algebra.
+
+The backfill scheduler models each processor as a set of *busy* intervals on
+the time axis. Hole enumeration, feasibility checks, and the independent
+schedule validator are all built on the two classes here:
+
+* :class:`Interval` — an immutable half-open interval ``[start, end)``.
+* :class:`IntervalSet` — a normalized (sorted, disjoint, merged) collection
+  of intervals supporting union, subtraction, intersection, and gap queries.
+
+All operations are tolerant of floating-point time stamps; two intervals are
+merged when they touch within ``EPS``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Interval", "IntervalSet", "EPS"]
+
+#: Absolute tolerance for comparing time stamps. The simulation clocks in this
+#: library are sums/maxima of modest magnitudes, so a fixed absolute epsilon
+#: is adequate and keeps the algebra simple and associative.
+EPS: float = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Half-open interval ``[start, end)`` with ``start < end``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.start)):
+            raise ValueError(f"interval start must be finite, got {self.start!r}")
+        if not (math.isfinite(self.end) or self.end == math.inf):
+            raise ValueError(f"interval end must be finite or +inf, got {self.end!r}")
+        if self.end - self.start <= EPS:
+            raise ValueError(
+                f"interval must have positive length: [{self.start}, {self.end})"
+            )
+
+    @property
+    def length(self) -> float:
+        """Duration of the interval (may be ``inf``)."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """True if ``start <= t < end`` (within tolerance at the left edge)."""
+        return self.start - EPS <= t < self.end - EPS or math.isclose(
+            t, self.start, abs_tol=EPS
+        )
+
+    def covers(self, other: "Interval") -> bool:
+        """True if *other* lies entirely inside this interval."""
+        return self.start <= other.start + EPS and other.end <= self.end + EPS
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share more than a boundary point."""
+        return self.start < other.end - EPS and other.start < self.end - EPS
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The overlapping part of the two intervals, or ``None``."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi - lo <= EPS:
+            return None
+        return Interval(lo, hi)
+
+    def shift(self, delta: float) -> "Interval":
+        """A copy translated by *delta* along the time axis."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start:g}, {self.end:g})"
+
+
+class IntervalSet:
+    """A normalized set of disjoint half-open intervals.
+
+    The internal representation is a sorted list of non-touching
+    :class:`Interval` objects. All mutating operations re-establish this
+    normal form, so equality and iteration order are canonical.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._ivs: List[Interval] = []
+        for iv in intervals:
+            self.add(iv)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[float, float]]) -> "IntervalSet":
+        """Build a set from ``(start, end)`` tuples."""
+        return cls(Interval(s, e) for s, e in pairs)
+
+    def copy(self) -> "IntervalSet":
+        out = IntervalSet()
+        out._ivs = list(self._ivs)
+        return out
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        if len(self._ivs) != len(other._ivs):
+            return False
+        return all(
+            math.isclose(a.start, b.start, abs_tol=EPS)
+            and (a.end == b.end or math.isclose(a.end, b.end, abs_tol=EPS))
+            for a, b in zip(self._ivs, other._ivs)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntervalSet({self._ivs!r})"
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        """Read-only view of the normalized intervals."""
+        return tuple(self._ivs)
+
+    @property
+    def total_length(self) -> float:
+        """Sum of interval durations."""
+        return sum(iv.length for iv in self._ivs)
+
+    def contains_point(self, t: float) -> bool:
+        """True if *t* lies inside any interval."""
+        return any(iv.contains(t) for iv in self._ivs)
+
+    def covers(self, iv: Interval) -> bool:
+        """True if a single stored interval fully covers *iv*."""
+        return any(stored.covers(iv) for stored in self._ivs)
+
+    def overlaps(self, iv: Interval) -> bool:
+        """True if *iv* overlaps any stored interval."""
+        # Binary search would be O(log n); linear is fine at schedule sizes
+        # (tens of busy intervals per processor) and simpler to verify.
+        return any(stored.overlaps(iv) for stored in self._ivs)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, iv: Interval) -> None:
+        """Union *iv* into the set, merging touching neighbours."""
+        merged_start, merged_end = iv.start, iv.end
+        keep: List[Interval] = []
+        for stored in self._ivs:
+            if stored.end < merged_start - EPS or stored.start > merged_end + EPS:
+                keep.append(stored)
+            else:  # touching or overlapping: absorb
+                merged_start = min(merged_start, stored.start)
+                merged_end = max(merged_end, stored.end)
+        keep.append(Interval(merged_start, merged_end))
+        keep.sort()
+        self._ivs = keep
+
+    def subtract(self, iv: Interval) -> None:
+        """Remove ``iv`` from the set, splitting intervals as needed."""
+        out: List[Interval] = []
+        for stored in self._ivs:
+            if not stored.overlaps(iv):
+                out.append(stored)
+                continue
+            if stored.start < iv.start - EPS:
+                out.append(Interval(stored.start, iv.start))
+            if iv.end < stored.end - EPS:
+                out.append(Interval(iv.end, stored.end))
+        self._ivs = out
+
+    # -- set algebra ---------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        out = self.copy()
+        for iv in other:
+            out.add(iv)
+        return out
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out = IntervalSet()
+        for a in self._ivs:
+            for b in other._ivs:
+                hit = a.intersection(b)
+                if hit is not None:
+                    out.add(hit)
+        return out
+
+    def complement(self, horizon: Interval) -> "IntervalSet":
+        """Gaps inside *horizon* not covered by this set."""
+        out = IntervalSet()
+        cursor = horizon.start
+        for stored in self._ivs:
+            if stored.end <= horizon.start + EPS:
+                continue
+            if stored.start >= horizon.end - EPS:
+                break
+            gap_end = min(stored.start, horizon.end)
+            if gap_end - cursor > EPS:
+                out.add(Interval(cursor, gap_end))
+            cursor = max(cursor, stored.end)
+        if horizon.end - cursor > EPS:
+            out.add(Interval(cursor, horizon.end))
+        return out
+
+    # -- scheduling queries ----------------------------------------------------
+
+    def first_fit(self, earliest: float, duration: float) -> float:
+        """Earliest start ``>= earliest`` of a free window of *duration*.
+
+        "Free" means not overlapping any stored (busy) interval. Returns the
+        start time; always succeeds because time is unbounded to the right.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration!r}")
+        t = earliest
+        for stored in self._ivs:
+            if stored.end <= t + EPS:
+                continue
+            if stored.start - t >= duration - EPS:
+                return t
+            t = max(t, stored.end)
+        return t
+
+    def free_at(self, start: float, duration: float) -> bool:
+        """True if ``[start, start+duration)`` overlaps nothing stored."""
+        return not self.overlaps(Interval(start, start + duration))
+
+    def next_event_after(self, t: float) -> Optional[float]:
+        """The first stored boundary (start or end) strictly after *t*."""
+        best: Optional[float] = None
+        for stored in self._ivs:
+            for edge in (stored.start, stored.end):
+                if edge > t + EPS and (best is None or edge < best):
+                    best = edge
+        return best

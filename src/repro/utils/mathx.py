@@ -1,0 +1,38 @@
+"""Tiny numeric helpers shared by the redistribution and scheduling code."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["lcm", "isclose_time", "mean", "geo_mean"]
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a <= 0 or b <= 0:
+        raise ValueError(f"lcm requires positive integers, got {a}, {b}")
+    return a // math.gcd(a, b) * b
+
+
+def isclose_time(a: float, b: float, *, tol: float = 1e-9) -> bool:
+    """Compare two simulation time stamps with the library-wide tolerance."""
+    return abs(a - b) <= tol
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty iterable."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean() of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geo_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; raises on empty input."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geo_mean() of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geo_mean() requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,75 @@
+"""Small argument-validation helpers used across the library.
+
+These raise early with precise messages instead of letting malformed inputs
+surface as confusing downstream failures deep in the scheduling loops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_positive_int",
+    "check_in_range",
+    "check_type",
+    "check_finite",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return *value* if it is a finite number > 0, else raise ``ValueError``."""
+    check_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return *value* if it is a finite number >= 0, else raise ``ValueError``."""
+    check_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return *value* as ``int`` if it is an integral value >= 1."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value!r}")
+    return int(value)
+
+
+def check_in_range(
+    value: float, name: str, lo: float, hi: float, *, inclusive: bool = True
+) -> float:
+    """Return *value* if it lies in ``[lo, hi]`` (or ``(lo, hi)``)."""
+    check_finite(value, name)
+    if inclusive:
+        if not (lo <= value <= hi):
+            raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    else:
+        if not (lo < value < hi):
+            raise ValueError(f"{name} must be in ({lo}, {hi}), got {value!r}")
+    return value
+
+
+def check_type(value: Any, name: str, *types: type) -> Any:
+    """Return *value* if it is an instance of one of *types*."""
+    if not isinstance(value, types):
+        expected = " or ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Return *value* if it is a finite real number."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value

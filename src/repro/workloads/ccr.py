@@ -1,0 +1,58 @@
+"""Communication-to-computation ratio (CCR) helpers.
+
+The paper defines CCR "for the instance of the task graph where each task
+is allocated one processor": the ratio of the mean edge communication cost
+(at one processor per endpoint, i.e. ``volume / bandwidth``) to the mean
+uniprocessor task compute time.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WorkloadError
+from repro.graph import TaskGraph
+
+__all__ = ["measured_ccr", "scale_to_ccr"]
+
+
+def measured_ccr(graph: TaskGraph, bandwidth: float) -> float:
+    """The graph's realized CCR at the pure task-parallel allocation."""
+    if bandwidth <= 0:
+        raise WorkloadError(f"bandwidth must be > 0, got {bandwidth}")
+    tasks = graph.tasks()
+    if not tasks:
+        raise WorkloadError("cannot compute CCR of an empty graph")
+    edges = graph.edges()
+    if not edges:
+        return 0.0
+    mean_comm = sum(
+        graph.data_volume(u, v) / bandwidth for u, v in edges
+    ) / len(edges)
+    mean_comp = sum(graph.sequential_time(t) for t in tasks) / len(tasks)
+    return mean_comm / mean_comp
+
+
+def scale_to_ccr(graph: TaskGraph, target_ccr: float, bandwidth: float) -> TaskGraph:
+    """A copy of *graph* with edge volumes rescaled to hit *target_ccr*.
+
+    Useful to re-run an application DAG under a hypothetical communication
+    intensity. A graph with no edges (or zero volume everywhere) cannot be
+    scaled to a positive CCR and raises.
+    """
+    if target_ccr < 0:
+        raise WorkloadError(f"target_ccr must be >= 0, got {target_ccr}")
+    current = measured_ccr(graph, bandwidth)
+    out = TaskGraph(f"{graph.name}-ccr{target_ccr:g}")
+    for t in graph.tasks():
+        task = graph.task(t)
+        out.add_task(t, task.profile, **task.attrs)
+    if target_ccr == 0:
+        factor = 0.0
+    else:
+        if current == 0:
+            raise WorkloadError(
+                "graph has zero communication; cannot scale to a positive CCR"
+            )
+        factor = target_ccr / current
+    for u, v in graph.edges():
+        out.add_edge(u, v, graph.data_volume(u, v) * factor)
+    return out

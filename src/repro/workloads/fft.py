@@ -1,0 +1,121 @@
+"""Parallel FFT task graph (recursive Cooley-Tukey decomposition).
+
+A classic mixed-parallel workload beyond the paper's two applications:
+``levels`` rounds of recursive splitting produce ``2^levels`` leaf
+transforms, followed by a butterfly-combine tree back to the root. Leaf
+transforms are FFTs of ``n / 2^levels`` points (``n log n`` work, decent
+scalability); combine tasks are element-wise butterflies (``n`` work at
+their level, poor scalability). Every edge carries the complex vector of
+its sub-problem.
+
+The resulting DAG is series-parallel, making it a natural benchmark for
+the Prasanna-Musicus extension scheduler as well as LoC-MPS.
+"""
+
+from __future__ import annotations
+
+import math
+from repro.exceptions import WorkloadError
+from repro.graph import TaskGraph
+from repro.speedup import AmdahlSpeedup, ExecutionProfile
+
+__all__ = ["fft_graph"]
+
+_MIN_TASK_SECONDS = 0.01
+
+
+def fft_graph(
+    n: int = 1 << 20,
+    *,
+    levels: int = 3,
+    flop_rate: float = 1e9,
+    element_bytes: int = 16,  # complex128
+    name: str = "",
+) -> TaskGraph:
+    """Build the ``levels``-deep recursive FFT DAG over *n* points.
+
+    Vertices: ``split(l, k)`` tasks reorder data downward (cheap,
+    memory-bound), ``leaf(k)`` tasks transform ``n / 2^levels`` points, and
+    ``combine(l, k)`` tasks apply the butterflies upward.
+    """
+    if n < 2 or n & (n - 1):
+        raise WorkloadError(f"n must be a power of two >= 2, got {n}")
+    if levels < 1 or (1 << levels) > n:
+        raise WorkloadError(
+            f"levels must satisfy 1 <= levels and 2^levels <= n, got {levels}"
+        )
+    if flop_rate <= 0:
+        raise WorkloadError(f"flop_rate must be > 0, got {flop_rate}")
+
+    graph = TaskGraph(name or f"fft-{n}-l{levels}")
+
+    def add(label: str, flops: float, serial_fraction: float, kind: str) -> None:
+        et1 = max(flops / flop_rate, _MIN_TASK_SECONDS)
+        graph.add_task(
+            label,
+            ExecutionProfile(AmdahlSpeedup(serial_fraction), et1),
+            kind=kind,
+            flops=flops,
+        )
+
+    # volumes: level l handles n / 2^l points per task
+    def points(level: int) -> int:
+        return n >> level
+
+    def volume(level: int) -> float:
+        return float(points(level) * element_bytes)
+
+    # split phase: binary tree of data-reorder tasks at levels 0..levels-1
+    for level in range(levels):
+        for k in range(1 << level):
+            add(
+                f"split{level}_{k}",
+                2.0 * points(level),
+                0.3,
+                "split",
+            )
+
+    # leaves: FFTs of n / 2^levels points
+    leaf_points = points(levels)
+    leaf_flops = 5.0 * leaf_points * max(1.0, math.log2(leaf_points))
+    for k in range(1 << levels):
+        add(f"leaf{k}", leaf_flops, 0.02, "leaf")
+
+    # combine phase: butterflies at levels levels-1 .. 0
+    for level in range(levels - 1, -1, -1):
+        for k in range(1 << level):
+            add(
+                f"combine{level}_{k}",
+                6.0 * points(level),
+                0.25,
+                "combine",
+            )
+
+    # edges: split tree downward
+    for level in range(levels - 1):
+        for k in range(1 << level):
+            for child in (2 * k, 2 * k + 1):
+                graph.add_edge(
+                    f"split{level}_{k}",
+                    f"split{level + 1}_{child}",
+                    volume(level + 1),
+                )
+    # deepest splits feed leaves
+    last = levels - 1
+    for k in range(1 << last):
+        for child in (2 * k, 2 * k + 1):
+            graph.add_edge(f"split{last}_{k}", f"leaf{child}", volume(levels))
+    # leaves feed the deepest combines
+    for k in range(1 << last):
+        for child in (2 * k, 2 * k + 1):
+            graph.add_edge(f"leaf{child}", f"combine{last}_{k}", volume(levels))
+    # combine tree upward
+    for level in range(levels - 1, 0, -1):
+        for k in range(1 << (level - 1)):
+            for child in (2 * k, 2 * k + 1):
+                graph.add_edge(
+                    f"combine{level}_{child}",
+                    f"combine{level - 1}_{k}",
+                    volume(level),
+                )
+    return graph

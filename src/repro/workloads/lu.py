@@ -1,0 +1,88 @@
+"""Blocked right-looking LU factorization task graph.
+
+The canonical dense-linear-algebra DAG: for each step ``k`` of a ``B x B``
+block matrix,
+
+* ``diag(k)`` — factor the diagonal block (poorly scalable, on the
+  critical path);
+* ``col(k, i)`` / ``row(k, j)`` — triangular solves updating the panel
+  blocks below / right of the diagonal;
+* ``upd(k, i, j)`` — GEMM updates of the trailing submatrix (the scalable
+  bulk of the work).
+
+Work shrinks as ``k`` advances, so the DAG mixes wide parallel waves with
+a narrowing critical path — a regime where mixed parallelism pays and pure
+task- or data-parallel schedules are both poor.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WorkloadError
+from repro.graph import TaskGraph
+from repro.speedup import AmdahlSpeedup, ExecutionProfile
+
+__all__ = ["lu_graph"]
+
+_MIN_TASK_SECONDS = 0.01
+
+
+def lu_graph(
+    matrix_size: int = 4096,
+    *,
+    blocks: int = 4,
+    flop_rate: float = 1e9,
+    element_bytes: int = 8,
+    name: str = "",
+) -> TaskGraph:
+    """Build the blocked LU DAG for ``matrix_size^2`` over ``blocks^2`` tiles."""
+    if blocks < 2:
+        raise WorkloadError(f"blocks must be >= 2, got {blocks}")
+    if matrix_size < blocks:
+        raise WorkloadError(
+            f"matrix_size must be >= blocks, got {matrix_size} < {blocks}"
+        )
+    if flop_rate <= 0:
+        raise WorkloadError(f"flop_rate must be > 0, got {flop_rate}")
+
+    nb = matrix_size // blocks  # tile edge
+    tile_volume = float(nb * nb * element_bytes)
+    graph = TaskGraph(name or f"lu-{matrix_size}-b{blocks}")
+
+    def add(label: str, flops: float, serial_fraction: float, kind: str) -> None:
+        et1 = max(flops / flop_rate, _MIN_TASK_SECONDS)
+        graph.add_task(
+            label,
+            ExecutionProfile(AmdahlSpeedup(serial_fraction), et1),
+            kind=kind,
+            flops=flops,
+        )
+
+    diag_flops = 2.0 / 3.0 * nb**3
+    trsm_flops = 1.0 * nb**3
+    gemm_flops = 2.0 * nb**3
+
+    for k in range(blocks):
+        add(f"diag{k}", diag_flops, 0.25, "diag")
+        for i in range(k + 1, blocks):
+            add(f"col{k}_{i}", trsm_flops, 0.08, "col")
+            add(f"row{k}_{i}", trsm_flops, 0.08, "row")
+        for i in range(k + 1, blocks):
+            for j in range(k + 1, blocks):
+                add(f"upd{k}_{i}_{j}", gemm_flops, 0.02, "update")
+
+    for k in range(blocks):
+        for i in range(k + 1, blocks):
+            graph.add_edge(f"diag{k}", f"col{k}_{i}", tile_volume)
+            graph.add_edge(f"diag{k}", f"row{k}_{i}", tile_volume)
+        for i in range(k + 1, blocks):
+            for j in range(k + 1, blocks):
+                graph.add_edge(f"col{k}_{i}", f"upd{k}_{i}_{j}", tile_volume)
+                graph.add_edge(f"row{k}_{j}", f"upd{k}_{i}_{j}", tile_volume)
+        if k + 1 < blocks:
+            # the updated (k+1, k+1) tile becomes the next diagonal; the
+            # next panel solves consume their own updated tiles
+            graph.add_edge(f"upd{k}_{k + 1}_{k + 1}", f"diag{k + 1}", tile_volume)
+            for i in range(k + 2, blocks):
+                graph.add_edge(f"upd{k}_{i}_{k + 1}", f"col{k + 1}_{i}", tile_volume)
+                graph.add_edge(f"upd{k}_{k + 1}_{i}", f"row{k + 1}_{i}", tile_volume)
+    return graph

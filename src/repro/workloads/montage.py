@@ -1,0 +1,78 @@
+"""Montage-style astronomy mosaic workflow generator.
+
+A classic scientific-workflow shape complementing the paper's two
+applications: ``n_images`` input projections fan out, pairwise
+overlap-fitting connects neighbouring projections, a background-model
+stage joins everything, per-image background corrections fan out again,
+and a final mosaic task joins the corrected images. Structurally this is
+the Montage pipeline (mProject -> mDiffFit -> mBgModel -> mBackground ->
+mAdd) that workflow-scheduling papers use as a stress test for fan-out /
+fan-in patterns with modest per-task parallelism.
+
+Projections and corrections are pixel-parallel (scale well); the fit and
+model stages are small and poorly scalable; the final co-addition is
+memory-bound with middling scalability. Volumes are image-sized.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WorkloadError
+from repro.graph import TaskGraph
+from repro.speedup import AmdahlSpeedup, ExecutionProfile
+
+__all__ = ["montage_graph"]
+
+_MIN_TASK_SECONDS = 0.01
+
+
+def montage_graph(
+    n_images: int = 8,
+    *,
+    pixels_per_image: float = 4e6,
+    flop_per_pixel: float = 50.0,
+    flop_rate: float = 1e9,
+    element_bytes: int = 4,
+    name: str = "",
+) -> TaskGraph:
+    """Build the Montage-like mosaic DAG over *n_images* input images."""
+    if n_images < 2:
+        raise WorkloadError(f"n_images must be >= 2, got {n_images}")
+    if pixels_per_image <= 0 or flop_per_pixel <= 0 or flop_rate <= 0:
+        raise WorkloadError("pixels, flops and rate must all be > 0")
+
+    graph = TaskGraph(name or f"montage-{n_images}")
+    image_bytes = pixels_per_image * element_bytes
+    project_flops = pixels_per_image * flop_per_pixel
+    fit_flops = 0.05 * project_flops
+    correct_flops = 0.4 * project_flops
+    add_flops = 0.3 * project_flops * n_images
+
+    def add(label: str, flops: float, serial_fraction: float, kind: str) -> None:
+        graph.add_task(
+            label,
+            ExecutionProfile(
+                AmdahlSpeedup(serial_fraction),
+                max(flops / flop_rate, _MIN_TASK_SECONDS),
+            ),
+            kind=kind,
+            flops=flops,
+        )
+
+    for i in range(n_images):
+        add(f"project{i}", project_flops, 0.02, "project")
+    for i in range(n_images - 1):  # ring of neighbour overlaps
+        add(f"fit{i}", fit_flops, 0.4, "fit")
+    add("bgmodel", fit_flops * n_images, 0.6, "model")
+    for i in range(n_images):
+        add(f"correct{i}", correct_flops, 0.03, "correct")
+    add("mosaic", add_flops, 0.15, "add")
+
+    for i in range(n_images - 1):
+        graph.add_edge(f"project{i}", f"fit{i}", image_bytes)
+        graph.add_edge(f"project{i + 1}", f"fit{i}", image_bytes)
+        graph.add_edge(f"fit{i}", "bgmodel", 0.01 * image_bytes)
+    for i in range(n_images):
+        graph.add_edge("bgmodel", f"correct{i}", 0.01 * image_bytes)
+        graph.add_edge(f"project{i}", f"correct{i}", image_bytes)
+        graph.add_edge(f"correct{i}", "mosaic", image_bytes)
+    return graph

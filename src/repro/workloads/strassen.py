@@ -1,0 +1,99 @@
+"""Strassen matrix-multiplication task graph (paper Fig 7(b)).
+
+One level of Strassen's algorithm on an ``n x n`` matrix:
+
+* ``S1..S10`` — the ten half-size matrix additions/subtractions forming the
+  operands of the seven recursive products;
+* ``M1..M7`` — the seven half-size matrix multiplications;
+* ``C11..C22`` — the four output-quadrant combinations.
+
+Multiplications carry ``2 (n/2)^3`` FLOPs and scale well (block-distributed
+GEMM); additions carry ``(n/2)^2`` FLOPs and scale poorly. Following the
+paper's profiling observation, scalability improves with problem size: the
+Amdahl serial fractions shrink with ``n`` (at 1024^2 the tasks "do not scale
+very well"; at 4096^2 "the scalability of tasks increases").
+
+Every inter-task edge moves one half-size matrix, ``(n/2)^2 *
+element_bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph import TaskGraph
+from repro.speedup import AmdahlSpeedup, ExecutionProfile
+
+__all__ = ["strassen_graph"]
+
+#: minimum task time (seconds): per-task launch overhead floor
+_MIN_TASK_SECONDS = 0.02
+
+#: (multiplication, operand S-tasks) — the classic Strassen dependences;
+#: multiplications whose operand is a raw input quadrant have fewer deps
+_M_DEPS: List[Tuple[str, List[str]]] = [
+    ("M1", ["S1", "S2"]),   # (A11+A22)(B11+B22)
+    ("M2", ["S3"]),         # (A21+A22) B11
+    ("M3", ["S4"]),         # A11 (B12-B22)
+    ("M4", ["S5"]),         # A22 (B21-B11)
+    ("M5", ["S6"]),         # (A11+A12) B22
+    ("M6", ["S7", "S8"]),   # (A21-A11)(B11+B12)
+    ("M7", ["S9", "S10"]),  # (A12-A22)(B21+B22)
+]
+
+#: (output quadrant, contributing products)
+_C_DEPS: List[Tuple[str, List[str]]] = [
+    ("C11", ["M1", "M4", "M5", "M7"]),  # M1+M4-M5+M7
+    ("C12", ["M3", "M5"]),              # M3+M5
+    ("C21", ["M2", "M4"]),              # M2+M4
+    ("C22", ["M1", "M2", "M3", "M6"]),  # M1-M2+M3+M6
+]
+
+
+def strassen_graph(
+    n: int = 1024,
+    *,
+    flop_rate: float = 1e9,
+    element_bytes: int = 8,
+    name: str = "",
+) -> TaskGraph:
+    """Build the 21-task one-level Strassen DAG for an ``n x n`` multiply."""
+    if n < 4 or n % 2:
+        raise WorkloadError(f"n must be an even integer >= 4, got {n}")
+    if flop_rate <= 0:
+        raise WorkloadError(f"flop_rate must be > 0, got {flop_rate}")
+    half = n // 2
+    add_flops = float(half * half)
+    mul_flops = 2.0 * half**3
+    volume = float(half * half * element_bytes)
+
+    # Scalability grows with problem size: serial fractions ~ 1/half.
+    f_add = min(0.5, 64.0 / half)
+    f_mul = min(0.2, 8.0 / half)
+
+    graph = TaskGraph(name or f"strassen-{n}")
+
+    def add_task(label: str, flops: float, serial_fraction: float, kind: str) -> None:
+        et1 = max(flops / flop_rate, _MIN_TASK_SECONDS)
+        graph.add_task(
+            label,
+            ExecutionProfile(AmdahlSpeedup(serial_fraction), et1),
+            kind=kind,
+            flops=flops,
+        )
+
+    for i in range(1, 11):
+        add_task(f"S{i}", add_flops, f_add, "add")
+    for m, _deps in _M_DEPS:
+        add_task(m, mul_flops, f_mul, "multiply")
+    for c, deps in _C_DEPS:
+        add_task(c, add_flops * (len(deps) - 1), f_add, "combine")
+
+    for m, deps in _M_DEPS:
+        for s in deps:
+            graph.add_edge(s, m, volume)
+    for c, deps in _C_DEPS:
+        for m in deps:
+            graph.add_edge(m, c, volume)
+    return graph

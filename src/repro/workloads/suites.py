@@ -1,0 +1,90 @@
+"""The paper's synthetic evaluation suites.
+
+Section IV-A: "a set of 30 synthetic graphs was generated ... The number of
+tasks was varied from 10 to 50". :func:`paper_suite` reproduces that — 30
+seeded graphs with sizes spread uniformly over [10, 50] — for a given
+``(Amax, sigma, CCR)`` configuration; :func:`synthetic_suite` is the
+generic version.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster import FAST_ETHERNET_100MBPS
+from repro.exceptions import WorkloadError
+from repro.graph import TaskGraph
+from repro.utils.rng import SeedLike, as_generator, spawn_child
+from repro.workloads.synthetic import synthetic_dag
+
+__all__ = ["synthetic_suite", "paper_suite"]
+
+
+def synthetic_suite(
+    count: int,
+    *,
+    min_tasks: int = 10,
+    max_tasks: int = 50,
+    ccr: float = 0.0,
+    amax: float = 64.0,
+    sigma: float = 1.0,
+    bandwidth: float = FAST_ETHERNET_100MBPS,
+    seed: SeedLike = 0,
+) -> List[TaskGraph]:
+    """*count* seeded graphs with sizes spread evenly over the task range."""
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if not (1 <= min_tasks <= max_tasks):
+        raise WorkloadError(
+            f"need 1 <= min_tasks <= max_tasks, got {min_tasks}, {max_tasks}"
+        )
+    rng = as_generator(seed)
+    graphs: List[TaskGraph] = []
+    for k in range(count):
+        if count == 1:
+            n = (min_tasks + max_tasks) // 2
+        else:
+            n = min_tasks + round(k * (max_tasks - min_tasks) / (count - 1))
+        child = spawn_child(rng, k)
+        graphs.append(
+            synthetic_dag(
+                n,
+                ccr=ccr,
+                amax=amax,
+                sigma=sigma,
+                bandwidth=bandwidth,
+                seed=child,
+                name=f"synthetic-{k:02d}-n{n}",
+            )
+        )
+    return graphs
+
+
+def paper_suite(
+    *,
+    ccr: float,
+    amax: float,
+    sigma: float,
+    count: int = 30,
+    seed: SeedLike = 2006,
+    bandwidth: float = FAST_ETHERNET_100MBPS,
+    min_tasks: int = 10,
+    max_tasks: int = 50,
+) -> List[TaskGraph]:
+    """The 30-graph suite of Section IV-A for one ``(Amax, sigma, CCR)``.
+
+    The paper evaluates ``(Amax, sigma)`` in {(64, 1), (48, 2)} and CCR in
+    {0, 0.1, 1} over 10-50-task graphs; the default seed pins the suite
+    for reproducibility. ``min_tasks``/``max_tasks`` shrink the sizes for
+    time-boxed (benchmark) runs.
+    """
+    return synthetic_suite(
+        count,
+        min_tasks=min_tasks,
+        max_tasks=max_tasks,
+        ccr=ccr,
+        amax=amax,
+        sigma=sigma,
+        bandwidth=bandwidth,
+        seed=seed,
+    )

@@ -1,0 +1,205 @@
+"""CCSD T1 tensor-contraction task graph (Tensor Contraction Engine).
+
+The paper's first application DAG comes from the Tensor Contraction Engine
+compiling the coupled-cluster singles (T1) residual. The TCE itself is not
+redistributable, so this module synthesizes the T1 residual DAG from the
+standard CCSD equations (see DESIGN.md, substitutions): a set of tensor
+contractions — generalized matrix multiplications over occupied (``o``) and
+virtual (``v``) index spaces — whose partial results are accumulated through
+a chain of small addition tasks.
+
+The structure matches the paper's description of Fig 7(a):
+
+* most vertices have a single incident edge (independent contractions of
+  input tensors feeding the accumulation chain);
+* accumulation vertices take a partial product plus another contraction
+  result, hence multiple incident edges;
+* cost skew: "a few large tasks and many small tasks which are not
+  scalable" — the ``o^2 v^3`` and ``o v^3`` contractions dominate while the
+  ``o v`` additions are tiny and nearly serial.
+
+Costs derive from contraction FLOP counts at the given ``(o, v)`` and an
+effective per-node compute rate; volumes are output-tensor sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.graph import TaskGraph
+from repro.speedup import AmdahlSpeedup, ExecutionProfile
+
+__all__ = ["ccsd_t1_graph", "ccsd_full_graph"]
+
+#: Amdahl serial fractions per scalability class. Large contractions
+#: parallelize almost perfectly (block-distributed GEMMs); the tiny ov-sized
+#: additions are dominated by startup and reduction latency.
+_SERIAL_FRACTION = {
+    "large": 0.004,
+    "medium": 0.04,
+    "small": 0.30,
+}
+
+#: minimum task time (seconds) — models per-task startup that keeps even
+#: trivial additions from vanishing relative to the schedule
+_MIN_TASK_SECONDS = 0.05
+
+
+def ccsd_t1_graph(
+    o: int = 40,
+    v: int = 160,
+    *,
+    flop_rate: float = 1e9,
+    element_bytes: int = 8,
+    name: str = "ccsd-t1",
+) -> TaskGraph:
+    """Build the CCSD T1 residual DAG for *o* occupied / *v* virtual orbitals.
+
+    ``flop_rate`` is the effective single-processor rate in FLOP/s used to
+    turn contraction FLOP counts into sequential execution times.
+    """
+    if o < 2 or v < 2:
+        raise WorkloadError(f"need o, v >= 2, got o={o}, v={v}")
+    if flop_rate <= 0:
+        raise WorkloadError(f"flop_rate must be > 0, got {flop_rate}")
+    if element_bytes <= 0:
+        raise WorkloadError(f"element_bytes must be > 0, got {element_bytes}")
+
+    o2, v2, ov = o * o, v * v, o * v
+
+    # (task, flops, output elements, inputs, scalability class)
+    # Contractions of the CCSD T1 residual; names encode the tensors
+    # contracted (f: Fock blocks, W: two-electron integrals, t1/t2: cluster
+    # amplitudes, I_*: intermediates, A*: partial-result accumulations).
+    terms: List[Tuple[str, float, float, List[str], str]] = [
+        ("C_fvv_t1", 2.0 * o * v2, ov, [], "small"),          # f[a,c] t1[c,i]
+        ("C_foo_t1", 2.0 * o2 * v, ov, [], "small"),          # f[k,i] t1[a,k]
+        ("C_Wvoov_t1", 2.0 * o2 * v2, ov, [], "medium"),      # W[a,k,i,c] t1[c,k]
+        ("C_fov_t2", 2.0 * o2 * v2, ov, [], "medium"),        # f[k,c] t2[a,c,i,k]
+        # tau[c,d,k,l] = t2[c,d,k,l] + t1[c,k] t1[d,l] — the t2-shaped
+        # effective-amplitude intermediate; its consumers receive a full
+        # o^2 v^2 tensor, the DAG's heavy redistributions.
+        ("TAU", 2.0 * o2 * v2, o2 * v2, [], "medium"),
+        ("C_Wvovv_t2", 2.0 * o2 * v * v2, ov, ["TAU"], "large"),   # W[a,k,c,d] tau
+        ("C_Wooov_t2", 2.0 * o2 * o * v2, ov, ["TAU"], "medium"),  # W[k,l,i,c] tau
+        ("I_kc", 2.0 * o2 * v2, ov, [], "medium"),            # W[k,l,c,d] t1[d,l]
+        ("C_Ikc_t2", 2.0 * o2 * v2, ov, ["I_kc"], "medium"),  # I[k,c] t2[a,c,i,k]
+        ("I_ki_f", 2.0 * o2 * v, o2, [], "small"),            # f[k,c] t1[c,i]
+        ("I_ki_W", 2.0 * o2 * o * v, o2, [], "small"),        # W[k,l,i,c] t1[c,l]
+        ("A_Iki", float(o2), o2, ["I_ki_f", "I_ki_W"], "small"),
+        ("C_Iki_t1", 2.0 * o2 * v, ov, ["A_Iki"], "small"),   # I[k,i] t1[a,k]
+        ("I_ac", 2.0 * o * v * v2, v2, [], "large"),          # W[a,k,c,d] t1[d,k]
+        ("C_Iac_t1", 2.0 * o * v2, ov, ["I_ac"], "small"),    # I[a,c] t1[c,i]
+        # accumulation chain: r1 <- sum of the eight contraction results
+        ("A1", float(ov), ov, ["C_fvv_t1", "C_foo_t1"], "small"),
+        ("A2", float(ov), ov, ["A1", "C_Wvoov_t1"], "small"),
+        ("A3", float(ov), ov, ["A2", "C_fov_t2"], "small"),
+        ("A4", float(ov), ov, ["A3", "C_Wvovv_t2"], "small"),
+        ("A5", float(ov), ov, ["A4", "C_Wooov_t2"], "small"),
+        ("A6", float(ov), ov, ["A5", "C_Ikc_t2"], "small"),
+        ("A7", float(ov), ov, ["A6", "C_Iki_t1"], "small"),
+        ("R1", float(ov), ov, ["A7", "C_Iac_t1"], "small"),
+    ]
+
+    graph = TaskGraph(name)
+    out_elems: Dict[str, float] = {}
+    for task, flops, out, _deps, klass in terms:
+        et1 = max(flops / flop_rate, _MIN_TASK_SECONDS)
+        profile = ExecutionProfile(
+            AmdahlSpeedup(_SERIAL_FRACTION[klass]), et1
+        )
+        graph.add_task(task, profile, kind=klass, flops=flops)
+        out_elems[task] = out
+    for task, _flops, _out, deps, _klass in terms:
+        for dep in deps:
+            graph.add_edge(dep, task, out_elems[dep] * element_bytes)
+    return graph
+
+
+def ccsd_full_graph(
+    o: int = 40,
+    v: int = 160,
+    *,
+    flop_rate: float = 1e9,
+    element_bytes: int = 8,
+    name: str = "ccsd-full",
+) -> TaskGraph:
+    """One full CCSD iteration: the T1 *and* T2 residuals (extension).
+
+    The T2 (doubles) residual is where coupled-cluster spends its time:
+    its contractions are ``o^2 v^4``- and ``o^4 v^2``-scale generalized
+    matrix products whose inputs and outputs are t2-shaped ``o^2 v^2``
+    tensors — every edge of the T2 half is a heavy redistribution. The
+    intermediates ``tau`` and ``I_kc`` are shared with the T1 half exactly
+    as the TCE's common-subexpression elimination would share them, so the
+    combined DAG couples the two residual chains.
+
+    Structure per the standard spin-orbital CCSD equations: particle-
+    ladder (``W_vvvv tau``), hole-ladder (``W_oooo tau``), ring
+    (``W_ovov t2``) contractions, one-particle intermediate dressings, and
+    a quadratic ``(tau x W) x tau`` chain, accumulated pairwise into the
+    doubles residual ``R2``; the T1 residual of :func:`ccsd_t1_graph` is
+    built alongside and shares ``TAU`` and ``I_kc``.
+    """
+    if o < 2 or v < 2:
+        raise WorkloadError(f"need o, v >= 2, got o={o}, v={v}")
+    if flop_rate <= 0:
+        raise WorkloadError(f"flop_rate must be > 0, got {flop_rate}")
+    if element_bytes <= 0:
+        raise WorkloadError(f"element_bytes must be > 0, got {element_bytes}")
+
+    graph = ccsd_t1_graph(
+        o, v, flop_rate=flop_rate, element_bytes=element_bytes, name=name
+    )
+    o2, v2, ov = o * o, v * v, o * v
+    t2_elems = float(o2 * v2)
+
+    def add(task: str, flops: float, out_elems: float, klass: str) -> float:
+        et1 = max(flops / flop_rate, _MIN_TASK_SECONDS)
+        graph.add_task(
+            task,
+            ExecutionProfile(AmdahlSpeedup(_SERIAL_FRACTION[klass]), et1),
+            kind=klass,
+            flops=flops,
+        )
+        return out_elems
+
+    out: dict = {"TAU": float(o2 * v2), "I_kc": float(ov)}
+
+    # (task, flops, output elements, inputs, class) — T2 residual terms
+    t2_terms = [
+        # particle ladder: W[ab,cd] tau[cd,ij] — the o^2 v^4 monster
+        ("T2_ladder_vv", 2.0 * o2 * v2 * v2, t2_elems, ["TAU"], "large"),
+        # hole ladder: W[kl,ij] tau[ab,kl] — o^4 v^2
+        ("T2_ladder_oo", 2.0 * o2 * o2 * v2, t2_elems, ["TAU"], "medium"),
+        # ring term: W[kb,cj] t2[ac,ik] — o^3 v^3
+        ("T2_ring", 2.0 * o2 * o * v2 * v, t2_elems, [], "large"),
+        # one-particle dressings of the residual
+        ("I_vv_dress", 2.0 * o * v * v2, float(v2), ["I_kc"], "medium"),
+        ("I_oo_dress", 2.0 * o2 * ov, float(o2), ["I_kc"], "small"),
+        ("T2_Fvv_t2", 2.0 * o2 * v * v2, t2_elems, ["I_vv_dress"], "large"),
+        ("T2_Foo_t2", 2.0 * o2 * o * v2, t2_elems, ["I_oo_dress"], "medium"),
+        # quadratic term: (tau W) tau via an o^2 v^2 intermediate
+        ("I_quad", 2.0 * o2 * v2 * min(o, v), t2_elems, ["TAU"], "large"),
+        ("T2_quad", 2.0 * o2 * v2 * min(o, v), t2_elems, ["I_quad"], "large"),
+    ]
+    for task, flops, out_elems, _deps, klass in t2_terms:
+        out[task] = add(task, flops, out_elems, klass)
+    for task, _flops, _out, deps, _klass in t2_terms:
+        for dep in deps:
+            graph.add_edge(dep, task, out[dep] * element_bytes)
+
+    # pairwise accumulation of the six residual contributions into R2
+    contributions = [
+        "T2_ladder_vv", "T2_ladder_oo", "T2_ring",
+        "T2_Fvv_t2", "T2_Foo_t2", "T2_quad",
+    ]
+    prev = contributions[0]
+    for i, contrib in enumerate(contributions[1:], start=1):
+        acc = f"B{i}" if i < len(contributions) - 1 else "R2"
+        out[acc] = add(acc, t2_elems, t2_elems, "small")
+        graph.add_edge(prev, acc, out[prev] * element_bytes)
+        graph.add_edge(contrib, acc, out[contrib] * element_bytes)
+        prev = acc
+    return graph

@@ -1,0 +1,44 @@
+"""Shared fixtures: paper example graphs and small random workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, TaskGraph
+from tests.helpers import (
+    build_chain_graph,
+    build_fig1_graph,
+    build_fig2_graph,
+    build_fig3_graph,
+    build_random_graph,
+)
+
+
+@pytest.fixture
+def fig1_graph() -> TaskGraph:
+    return build_fig1_graph()
+
+
+@pytest.fixture
+def fig2_graph() -> TaskGraph:
+    return build_fig2_graph()
+
+
+@pytest.fixture
+def fig3_graph() -> TaskGraph:
+    return build_fig3_graph()
+
+
+@pytest.fixture
+def chain_graph() -> TaskGraph:
+    return build_chain_graph()
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return Cluster(num_processors=4, bandwidth=1e6)
+
+
+@pytest.fixture
+def medium_cluster() -> Cluster:
+    return Cluster(num_processors=8, bandwidth=12.5e6)

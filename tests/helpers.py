@@ -1,0 +1,88 @@
+"""Shared graph builders used by fixtures and test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, TaskGraph
+from repro.speedup import (
+    AmdahlSpeedup,
+    DowneySpeedup,
+    ExecutionProfile,
+    LinearSpeedup,
+)
+
+
+def build_fig1_graph() -> TaskGraph:
+    """The paper's Fig 1 diamond: T1 -> {T2, T3} -> T4, tabled profiles.
+
+    The tables pin ``et`` at the allocation of Fig 1(b): np = (4, 3, 2, 4)
+    gives execution times (10, 7, 5, 8).
+    """
+    g = TaskGraph("fig1")
+    tables = {
+        "T1": {1: 20.0, 4: 10.0},
+        "T2": {1: 12.0, 3: 7.0},
+        "T3": {1: 8.0, 2: 5.0},
+        "T4": {1: 20.0, 4: 8.0},
+    }
+    for t, table in tables.items():
+        g.add_task(t, ExecutionProfile.from_table(table))
+    g.add_edge("T1", "T2")
+    g.add_edge("T1", "T3")
+    g.add_edge("T2", "T4")
+    g.add_edge("T3", "T4")
+    return g
+
+
+def build_fig2_graph() -> TaskGraph:
+    """The paper's Fig 2 profile table on a join DAG {T1,T3,T4} -> T2."""
+    g = TaskGraph("fig2")
+    tables = {
+        "T1": {1: 10.0, 2: 7.0, 3: 5.0},
+        "T2": {1: 8.0, 2: 6.0, 3: 5.0},
+        "T3": {1: 9.0, 2: 7.0, 3: 5.0},
+        "T4": {1: 7.0, 2: 5.0, 3: 4.0},
+    }
+    for t, table in tables.items():
+        g.add_task(t, ExecutionProfile.from_table(table))
+    for t in ("T1", "T3", "T4"):
+        g.add_edge(t, "T2")
+    return g
+
+
+def build_fig3_graph() -> TaskGraph:
+    """The paper's Fig 3 look-ahead example: two independent linear tasks."""
+    g = TaskGraph("fig3")
+    g.add_task("T1", ExecutionProfile(LinearSpeedup(), 40.0))
+    g.add_task("T2", ExecutionProfile(LinearSpeedup(), 80.0))
+    return g
+
+
+def build_chain_graph(n: int = 4, et1: float = 10.0) -> TaskGraph:
+    """A linear chain of Amdahl tasks with 1 MB edges."""
+    g = TaskGraph(f"chain{n}")
+    for i in range(n):
+        g.add_task(f"C{i}", ExecutionProfile(AmdahlSpeedup(0.1), et1))
+    for i in range(n - 1):
+        g.add_edge(f"C{i}", f"C{i + 1}", 1e6)
+    return g
+
+
+def build_random_graph(
+    num_tasks: int, seed: int, *, ccr_volume: float = 10e6, sigma: float = 1.0
+) -> TaskGraph:
+    """A small random DAG with Downey profiles for scheduler tests."""
+    rng = np.random.default_rng(seed)
+    g = TaskGraph(f"rand{seed}-{num_tasks}")
+    for i in range(num_tasks):
+        A = float(rng.uniform(1, 32))
+        et1 = float(rng.uniform(2, 40))
+        g.add_task(f"T{i}", ExecutionProfile(DowneySpeedup(A, sigma), et1))
+    for i in range(1, num_tasks):
+        k = int(rng.integers(1, min(i, 3) + 1))
+        for j in rng.choice(i, size=k, replace=False):
+            g.add_edge(f"T{int(j)}", f"T{i}", float(rng.uniform(0, ccr_volume)))
+    return g
+
+

@@ -1,0 +1,58 @@
+"""Ablation switches: locality-blind LoCBS and edge-growth policy."""
+
+import pytest
+
+from repro import Cluster, LocMpsScheduler, TaskGraph, validate_schedule
+from repro.schedulers import LocbsOptions, locbs_schedule
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+from tests.helpers import build_random_graph
+
+
+class TestLocalityBlind:
+    def test_option_rejects_reuse(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 4.0))
+        g.add_task("B", ExecutionProfile(LinearSpeedup(), 4.0))
+        g.add_edge("A", "B", 1e9)
+        cl = Cluster(num_processors=8, bandwidth=1e6)
+        aware = locbs_schedule(g, cl, {"A": 2, "B": 2})
+        blind = locbs_schedule(
+            g, cl, {"A": 2, "B": 2}, LocbsOptions(locality_blind=True)
+        )
+        # locality-aware placement reuses A's processors; blind does not
+        # seek them, yet both schedules must be valid and the blind one
+        # cannot be faster.
+        assert validate_schedule(blind.schedule, g) == []
+        assert aware.makespan <= blind.makespan + 1e-9
+
+    def test_locmps_flag_plumbs_through(self):
+        g = build_random_graph(8, 2)
+        cl = Cluster(num_processors=4)
+        s = LocMpsScheduler(locality_blind=True).schedule(g, cl)
+        assert validate_schedule(s, g) == []
+
+
+class TestEdgeGrowthPolicy:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            LocMpsScheduler(edge_growth="jump")
+
+    def test_increment_policy_single_steps(self):
+        sched = LocMpsScheduler(edge_growth="increment")
+        alloc = {"a": 2, "b": 7}
+        sched._grow_edge(("a", "b"), alloc, P=8)
+        assert alloc == {"a": 3, "b": 7}
+
+    def test_align_policy_jumps(self):
+        sched = LocMpsScheduler(edge_growth="align")
+        alloc = {"a": 2, "b": 7}
+        sched._grow_edge(("a", "b"), alloc, P=8)
+        assert alloc == {"a": 7, "b": 7}
+
+    def test_both_policies_schedule_validly(self):
+        g = build_random_graph(8, 5, ccr_volume=5e7)
+        cl = Cluster(num_processors=4)
+        for policy in ("align", "increment"):
+            s = LocMpsScheduler(edge_growth=policy).schedule(g, cl)
+            assert validate_schedule(s, g) == []

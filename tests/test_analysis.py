@@ -1,0 +1,140 @@
+"""Lower bounds and schedule critique."""
+
+import pytest
+
+from repro import Cluster, TaskGraph, get_scheduler
+from repro.analysis import (
+    ScheduleCritique,
+    area_bound,
+    combined_lower_bound,
+    critical_path_bound,
+    critique_schedule,
+    malleable_area_bound,
+    optimality_gap,
+)
+from repro.exceptions import ValidationError
+from repro.speedup import AmdahlSpeedup, ExecutionProfile, LinearSpeedup
+
+from tests.helpers import build_chain_graph, build_random_graph
+
+
+class TestBounds:
+    def test_area_bound(self):
+        g = build_chain_graph(4, et1=10.0)
+        assert area_bound(g, 4) == pytest.approx(10.0)
+
+    def test_malleable_area_at_least_area(self):
+        for seed in range(3):
+            g = build_random_graph(10, seed)
+            assert malleable_area_bound(g, 8) >= area_bound(g, 8) - 1e-9
+
+    def test_malleable_area_serial_tasks(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(AmdahlSpeedup(1.0), 12.0))
+        g.add_task("B", ExecutionProfile(AmdahlSpeedup(1.0), 12.0))
+        # serial tasks: minimal area = et(1); bound = 24/4
+        assert malleable_area_bound(g, 4) == pytest.approx(6.0)
+
+    def test_critical_path_bound_chain(self):
+        g = build_chain_graph(3, et1=12.0)  # Amdahl f=0.1
+        per_task = g.et("C0", g.task("C0").profile.pbest(4))
+        assert critical_path_bound(g, 4) == pytest.approx(3 * per_task)
+
+    def test_cp_bound_uses_best_width(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 16.0))
+        assert critical_path_bound(g, 8) == pytest.approx(2.0)
+
+    def test_combined_is_max(self):
+        g = build_random_graph(8, 1)
+        combined = combined_lower_bound(g, 4)
+        assert combined == pytest.approx(
+            max(
+                area_bound(g, 4),
+                malleable_area_bound(g, 4),
+                critical_path_bound(g, 4),
+            )
+        )
+
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert critical_path_bound(g, 2) == 0.0
+        assert area_bound(g, 2) == 0.0
+
+    @pytest.mark.parametrize("name", ["locmps", "cpa", "task", "data"])
+    def test_every_schedule_respects_combined_bound(self, name):
+        for seed in range(3):
+            g = build_random_graph(10, seed)
+            cl = Cluster(num_processors=4)
+            s = get_scheduler(name).schedule(g, cl)
+            assert s.makespan >= combined_lower_bound(g, 4) - 1e-6
+
+    def test_optimality_gap_at_least_one(self):
+        g = build_random_graph(10, 2)
+        cl = Cluster(num_processors=4)
+        s = get_scheduler("locmps").schedule(g, cl)
+        assert optimality_gap(s, g) >= 1.0 - 1e-9
+
+    def test_single_perfect_task_gap_is_one(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 8.0))
+        cl = Cluster(num_processors=4)
+        s = get_scheduler("locmps").schedule(g, cl)
+        assert optimality_gap(s, g) == pytest.approx(1.0)
+
+
+class TestCritique:
+    def make(self, seed=0, P=4):
+        g = build_random_graph(10, seed)
+        cl = Cluster(num_processors=P)
+        s = get_scheduler("locmps").schedule(g, cl)
+        return g, s
+
+    def test_fractions_sum_to_one(self):
+        g, s = self.make()
+        c = critique_schedule(s, g)
+        total = c.compute_fraction + c.comm_fraction + c.idle_fraction
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert 0 <= c.compute_fraction <= 1
+        assert 0 <= c.idle_fraction <= 1
+
+    def test_slack_non_negative_and_bounded(self):
+        g, s = self.make(seed=1)
+        c = critique_schedule(s, g)
+        for t, slack in c.slack.items():
+            assert slack >= -1e-6, t
+            assert slack <= c.makespan + 1e-6
+
+    def test_some_task_has_zero_slack(self):
+        # something must anchor the makespan
+        g, s = self.make(seed=2)
+        c = critique_schedule(s, g)
+        assert c.bottleneck_tasks()
+
+    def test_realized_cp_monotone(self):
+        g, s = self.make(seed=3)
+        c = critique_schedule(s, g)
+        finishes = [s[t].finish for t in c.realized_critical_path]
+        assert finishes == sorted(finishes)
+        assert c.realized_critical_path  # non-empty
+
+    def test_missing_task_rejected(self):
+        g, s = self.make()
+        g.add_task("ghost", ExecutionProfile(LinearSpeedup(), 1.0))
+        with pytest.raises(ValidationError):
+            critique_schedule(s, g)
+
+    def test_text_rendering(self):
+        g, s = self.make()
+        text = critique_schedule(s, g).text()
+        assert "makespan" in text
+        assert "critical path" in text
+
+    def test_sequential_schedule_fully_computed(self):
+        g = build_chain_graph(3, et1=5.0)
+        cl = Cluster(num_processors=1)
+        s = get_scheduler("task").schedule(g, cl)
+        c = critique_schedule(s, g)
+        assert c.compute_fraction == pytest.approx(1.0)
+        assert c.idle_fraction == pytest.approx(0.0)
+        assert len(c.realized_critical_path) == 3

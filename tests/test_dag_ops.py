@@ -1,0 +1,155 @@
+"""Top/bottom levels, critical paths, concurrency sets and ratios."""
+
+import networkx as nx
+import pytest
+
+from repro import TaskGraph
+from repro.exceptions import CycleError
+from repro.graph.dag_ops import (
+    bottom_levels,
+    concurrency_ratio,
+    concurrent_tasks,
+    critical_path,
+    critical_path_length,
+    top_levels,
+)
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+
+def make_graph(edges, weights, comm=None):
+    g = nx.DiGraph()
+    g.add_nodes_from(weights)
+    g.add_edges_from(edges)
+    comm = comm or {}
+    return (
+        g,
+        lambda t: weights[t],
+        lambda u, v: comm.get((u, v), 0.0),
+    )
+
+
+class TestLevels:
+    def test_chain_levels(self):
+        g, vw, ew = make_graph(
+            [("A", "B"), ("B", "C")], {"A": 1.0, "B": 2.0, "C": 3.0}
+        )
+        assert top_levels(g, vw, ew) == {"A": 0.0, "B": 1.0, "C": 3.0}
+        assert bottom_levels(g, vw, ew) == {"A": 6.0, "B": 5.0, "C": 3.0}
+
+    def test_levels_with_edge_weights(self):
+        g, vw, ew = make_graph(
+            [("A", "B")], {"A": 1.0, "B": 2.0}, {("A", "B"): 10.0}
+        )
+        assert top_levels(g, vw, ew)["B"] == 11.0
+        assert bottom_levels(g, vw, ew)["A"] == 13.0
+
+    def test_diamond_takes_longest(self):
+        g, vw, ew = make_graph(
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+            {"A": 1.0, "B": 5.0, "C": 2.0, "D": 1.0},
+        )
+        assert top_levels(g, vw, ew)["D"] == 6.0
+        assert bottom_levels(g, vw, ew)["A"] == 7.0
+
+    def test_top_plus_bottom_identifies_cp_vertices(self):
+        g, vw, ew = make_graph(
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+            {"A": 1.0, "B": 5.0, "C": 2.0, "D": 1.0},
+        )
+        tl, bl = top_levels(g, vw, ew), bottom_levels(g, vw, ew)
+        cp_len = max(bl.values())
+        on_cp = {v for v in g if tl[v] + bl[v] == cp_len}
+        assert on_cp == {"A", "B", "D"}
+
+    def test_cycle_detected(self):
+        g = nx.DiGraph([("A", "B"), ("B", "A")])
+        with pytest.raises(CycleError):
+            top_levels(g, lambda t: 1.0, lambda u, v: 0.0)
+
+
+class TestCriticalPath:
+    def test_simple_chain(self):
+        g, vw, ew = make_graph(
+            [("A", "B"), ("B", "C")], {"A": 1.0, "B": 2.0, "C": 3.0}
+        )
+        length, path = critical_path(g, vw, ew)
+        assert length == 6.0
+        assert path == ["A", "B", "C"]
+
+    def test_picks_heavier_branch(self):
+        g, vw, ew = make_graph(
+            [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")],
+            {"A": 1.0, "B": 5.0, "C": 2.0, "D": 1.0},
+        )
+        length, path = critical_path(g, vw, ew)
+        assert length == 7.0
+        assert path == ["A", "B", "D"]
+
+    def test_deterministic_ties(self):
+        g, vw, ew = make_graph(
+            [("A", "B"), ("A", "C")], {"A": 1.0, "B": 2.0, "C": 2.0}
+        )
+        _, p1 = critical_path(g, vw, ew)
+        _, p2 = critical_path(g, vw, ew)
+        assert p1 == p2 == ["A", "B"]  # lexicographic tie-break
+
+    def test_disconnected_components(self):
+        g, vw, ew = make_graph([], {"A": 3.0, "B": 8.0})
+        length, path = critical_path(g, vw, ew)
+        assert length == 8.0
+        assert path == ["B"]
+
+    def test_empty_graph(self):
+        g = nx.DiGraph()
+        assert critical_path(g, lambda t: 1, lambda u, v: 0) == (0.0, [])
+
+    def test_length_matches_path(self):
+        g, vw, ew = make_graph(
+            [("A", "B"), ("B", "D"), ("A", "C"), ("C", "D")],
+            {"A": 2.0, "B": 3.0, "C": 4.0, "D": 1.0},
+            {("A", "B"): 5.0},
+        )
+        length, path = critical_path(g, vw, ew)
+        assert length == critical_path_length(g, vw, ew)
+        total = sum(vw(v) for v in path) + sum(
+            ew(u, v) for u, v in zip(path, path[1:])
+        )
+        assert total == pytest.approx(length)
+
+
+class TestConcurrency:
+    def make_fig2(self):
+        # T1, T3, T4 join into T2
+        g = nx.DiGraph([("T1", "T2"), ("T3", "T2"), ("T4", "T2")])
+        return g
+
+    def test_concurrent_tasks_join(self):
+        g = self.make_fig2()
+        assert concurrent_tasks(g, "T1") == {"T3", "T4"}
+        assert concurrent_tasks(g, "T2") == set()
+
+    def test_concurrent_tasks_chain(self):
+        g = nx.DiGraph([("A", "B"), ("B", "C")])
+        for t in "ABC":
+            assert concurrent_tasks(g, t) == set()
+
+    def test_concurrent_excludes_indirect_dependence(self):
+        g = nx.DiGraph([("A", "B"), ("B", "C"), ("A", "D")])
+        assert concurrent_tasks(g, "C") == {"D"}
+        assert concurrent_tasks(g, "D") == {"B", "C"}
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            concurrent_tasks(nx.DiGraph(), "X")
+
+    def test_concurrency_ratio_paper_example(self):
+        g = self.make_fig2()
+        seq = {"T1": 10.0, "T2": 8.0, "T3": 9.0, "T4": 7.0}
+        assert concurrency_ratio(g, "T1", seq.__getitem__) == pytest.approx(1.6)
+        assert concurrency_ratio(g, "T2", seq.__getitem__) == 0.0
+
+    def test_concurrency_ratio_rejects_zero_time(self):
+        g = nx.DiGraph()
+        g.add_node("A")
+        with pytest.raises(ValueError):
+            concurrency_ratio(g, "A", lambda t: 0.0)

@@ -1,0 +1,55 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Each example's ``main()`` is imported and executed (with stdout captured),
+so documentation code cannot silently rot. Only the fast examples run
+here; the sweep-style ones are exercised via their underlying harness in
+``test_experiments.py``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "custom_speedup", "schedule_analysis"],
+)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+
+
+def test_quickstart_prints_gantt(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "LoC-MPS improves on TASK" in out
+
+
+def test_custom_speedup_round_trips(capsys):
+    load_example("custom_speedup").main()
+    out = capsys.readouterr().out
+    assert "schedule reproduced exactly" in out
+
+
+def test_schedule_analysis_reports_gap(capsys):
+    load_example("schedule_analysis").main()
+    out = capsys.readouterr().out
+    assert "lower bound" in out
+    assert "critique" in out

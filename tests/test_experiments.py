@@ -1,0 +1,193 @@
+"""Experiment harness: sweeps, relative performance, report rendering, CLI."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import (
+    ComparisonResult,
+    relative_performance,
+    run_comparison,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import format_series_table
+from repro.exceptions import ExperimentError
+
+from tests.helpers import build_random_graph
+
+
+def tiny_sweep():
+    graphs = [build_random_graph(6, s) for s in (0, 1)]
+    return run_comparison(
+        graphs,
+        ["locmps", "task", "data"],
+        [2, 4],
+        bandwidth=12.5e6,
+    )
+
+
+class TestRunComparison:
+    def test_shapes(self):
+        result = tiny_sweep()
+        assert result.schemes == ["locmps", "task", "data"]
+        assert result.proc_counts == [2, 4]
+        assert len(result.graph_names) == 2
+        for scheme in result.schemes:
+            assert len(result.makespans[scheme]) == 2
+            assert len(result.makespans[scheme][0]) == 2
+
+    def test_all_finite(self):
+        result = tiny_sweep()
+        for scheme in result.schemes:
+            for row in result.makespans[scheme]:
+                assert all(math.isfinite(v) and v > 0 for v in row)
+
+    def test_relative_to_reference_is_one(self):
+        result = tiny_sweep()
+        rel = result.relative_to("locmps")
+        assert all(v == pytest.approx(1.0) for v in rel["locmps"])
+
+    def test_relative_values_at_most_one_for_task(self):
+        # LoC-MPS never loses to its own starting point (TASK), so the
+        # ratio makespan(locmps)/makespan(task) never exceeds 1.
+        result = tiny_sweep()
+        rel = result.relative_to("locmps")
+        assert all(v <= 1.0 + 1e-9 for v in rel["task"])
+
+    def test_mean_series_lengths(self):
+        result = tiny_sweep()
+        assert len(result.mean_makespan("task")) == 2
+        assert len(result.mean_sched_time("task")) == 2
+
+    def test_unknown_reference(self):
+        result = tiny_sweep()
+        with pytest.raises(ExperimentError):
+            result.relative_to("nope")
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_comparison([], ["task"], [2], bandwidth=1e6)
+        g = build_random_graph(4, 0)
+        with pytest.raises(ExperimentError):
+            run_comparison([g], [], [2], bandwidth=1e6)
+        with pytest.raises(ExperimentError):
+            run_comparison([g], ["task"], [], bandwidth=1e6)
+
+
+class TestRelativePerformance:
+    def test_ratio(self):
+        assert relative_performance(10.0, 20.0) == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ExperimentError):
+            relative_performance(10.0, 0.0)
+
+
+class TestReport:
+    def test_table_contains_all(self):
+        text = format_series_table(
+            "demo", [2, 4], {"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        )
+        assert "demo" in text
+        assert "2 |" in text and "4 |" in text
+        assert "3.000" in text
+
+    def test_note_rendered(self):
+        text = format_series_table("t", [1], {"x": [1.0]}, note="hello")
+        assert "hello" in text
+
+
+class TestFigureResult:
+    def test_text_rendering(self):
+        fr = FigureResult(
+            figure="Fig X",
+            title="demo",
+            proc_counts=[2, 4],
+            series={"locmps": [1.0, 1.0], "task": [0.5, 0.4]},
+            sched_times={"locmps": [0.1, 0.2], "task": [0.01, 0.01]},
+            notes=["a note"],
+        )
+        text = fr.text()
+        assert "Fig X: demo" in text
+        assert "scheduling times" in text
+        assert "a note" in text
+
+
+class TestFigureModules:
+    """Micro-scale smoke runs of every figure driver."""
+
+    def test_fig4_micro(self):
+        from repro.experiments import fig04
+
+        r = fig04.run(
+            "a", proc_counts=[2, 3], graph_count=2,
+            schemes=["locmps", "task"],
+        )
+        assert r.proc_counts == [2, 3]
+        assert set(r.series) == {"locmps", "task"}
+
+    def test_fig4_rejects_bad_panel(self):
+        from repro.experiments import fig04
+
+        with pytest.raises(ValueError):
+            fig04.run("c")
+
+    def test_fig5_micro(self):
+        from repro.experiments import fig05
+
+        r = fig05.run(
+            "b", proc_counts=[2], graph_count=2, schemes=["locmps", "data"]
+        )
+        assert "CCR=1" in r.title
+
+    def test_fig6_micro(self):
+        from repro.experiments import fig06
+
+        r = fig06.run(proc_counts=[2], graph_count=2)
+        assert set(r.series) == {"locmps", "locmps-nobackfill"}
+        assert r.sched_times is not None
+
+    def test_fig8_micro(self):
+        from repro.experiments import fig08
+
+        r = fig08.run("a", proc_counts=[2], schemes=["locmps", "cpa"], o=6, v=12)
+        assert "overlap" in r.title
+
+    def test_fig9_micro(self):
+        from repro.experiments import fig09
+
+        r = fig09.run("a", proc_counts=[2], schemes=["locmps", "cpa"])
+        assert "1024" in r.title
+
+    def test_fig10_micro(self):
+        from repro.experiments import fig10
+
+        r = fig10.run("b", proc_counts=[2], schemes=["cpa", "locmps"])
+        assert r.sched_times is not None
+
+    def test_fig11_micro(self):
+        from repro.experiments import fig11
+
+        r = fig11.run(
+            proc_counts=[2], schemes=["locmps", "cpa"], trials=2, o=6, v=12
+        )
+        assert r.series["locmps"] == [pytest.approx(1.0)]
+        assert r.notes
+
+
+class TestCli:
+    def test_cli_lists_all_figures(self):
+        from repro.experiments.cli import FIGURES
+
+        for name in (
+            "fig4a", "fig4b", "fig5a", "fig5b", "fig6",
+            "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11",
+        ):
+            assert name in FIGURES
+
+    def test_cli_runs_micro(self, capsys):
+        from repro.experiments.cli import main
+
+        main(["fig9a", "--procs", "2"])
+        out = capsys.readouterr().out
+        assert "Fig 9(a)" in out

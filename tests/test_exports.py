@@ -1,0 +1,96 @@
+"""Result and schedule persistence (JSON / CSV)."""
+
+import pytest
+
+from repro import Cluster, get_scheduler
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    figure_from_dict,
+    figure_to_csv,
+    figure_to_dict,
+    load_figure,
+    save_figure,
+)
+from repro.experiments.figures import FigureResult
+from repro.schedule import (
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+from tests.helpers import build_random_graph
+
+
+def make_figure():
+    return FigureResult(
+        figure="Fig T",
+        title="test figure",
+        proc_counts=[2, 4, 8],
+        series={"locmps": [1.0, 1.0, 1.0], "task": [0.5, 0.4, 0.3]},
+        sched_times={"locmps": [0.1, 0.2, 0.4], "task": [0.01, 0.01, 0.01]},
+        notes=["note"],
+    )
+
+
+class TestFigureExport:
+    def test_round_trip(self):
+        fr = make_figure()
+        back = figure_from_dict(figure_to_dict(fr))
+        assert back.figure == fr.figure
+        assert back.proc_counts == fr.proc_counts
+        assert back.series == fr.series
+        assert back.sched_times == fr.sched_times
+        assert back.notes == fr.notes
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "fig.json"
+        save_figure(make_figure(), path)
+        back = load_figure(path)
+        assert back.series["task"] == [0.5, 0.4, 0.3]
+        assert "Fig T" in back.text()
+
+    def test_length_mismatch_rejected(self):
+        doc = figure_to_dict(make_figure())
+        doc["series"]["task"] = [0.5]
+        with pytest.raises(ExperimentError, match="values for"):
+            figure_from_dict(doc)
+
+    def test_none_sched_times(self):
+        fr = make_figure()
+        fr.sched_times = None
+        back = figure_from_dict(figure_to_dict(fr))
+        assert back.sched_times is None
+
+    def test_csv(self):
+        csv_text = figure_to_csv(make_figure())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "P,locmps,task"
+        assert lines[1].startswith("2,1.0,0.5")
+        assert len(lines) == 4
+
+
+class TestScheduleExport:
+    def test_round_trip(self, tmp_path):
+        g = build_random_graph(8, 1)
+        cl = Cluster(num_processors=4, overlap=False)
+        s = get_scheduler("locmps").schedule(g, cl)
+        path = tmp_path / "schedule.json"
+        save_schedule(s, path)
+        back = load_schedule(path)
+        assert back.makespan == pytest.approx(s.makespan)
+        assert back.scheduler == s.scheduler
+        assert back.cluster == cl
+        for t in g.tasks():
+            assert back[t].processors == s[t].processors
+            assert back[t].exec_start == pytest.approx(s[t].exec_start)
+        assert back.edge_comm_times == s.edge_comm_times
+
+    def test_round_tripped_schedule_still_validates(self, tmp_path):
+        from repro import validate_schedule
+
+        g = build_random_graph(8, 2)
+        cl = Cluster(num_processors=4)
+        s = get_scheduler("cpa").schedule(g, cl)
+        back = schedule_from_dict(schedule_to_dict(s))
+        assert validate_schedule(back, g) == []

@@ -1,0 +1,102 @@
+"""End-to-end flows across subsystems.
+
+These mirror what the examples and benchmarks do: build a workload, run
+every scheduler, validate, replay, serialize, and compare — in one pass.
+"""
+
+import pytest
+
+from repro import (
+    Cluster,
+    LocMpsScheduler,
+    gantt_ascii,
+    get_scheduler,
+    load_graph,
+    save_graph,
+    schedule_summary,
+    utilization,
+    validate_schedule,
+)
+from repro.cluster import MYRINET_2GBPS
+from repro.schedulers.registry import PAPER_SCHEMES
+from repro.sim import ExecutionEngine, LognormalNoise
+from repro.workloads import ccsd_t1_graph, strassen_graph, synthetic_dag
+
+
+class TestSyntheticPipeline:
+    def test_full_pipeline(self, tmp_path):
+        graph = synthetic_dag(12, ccr=0.3, seed=11)
+        path = tmp_path / "workload.json"
+        save_graph(graph, path)
+        graph = load_graph(path)
+
+        cluster = Cluster(num_processors=6)
+        results = {}
+        for name in PAPER_SCHEMES:
+            schedule = get_scheduler(name).schedule(graph, cluster)
+            assert validate_schedule(schedule, graph) == []
+            results[name] = schedule
+
+        # LoC-MPS dominates its own starting point and is competitive
+        assert results["locmps"].makespan <= results["task"].makespan + 1e-6
+
+        # replay the winner exactly and noisily
+        engine = ExecutionEngine(graph, cluster)
+        exact = engine.execute(results["locmps"])
+        assert exact.makespan <= results["locmps"].makespan + 1e-6
+        noisy = ExecutionEngine(
+            graph, cluster, noise=LognormalNoise(0.1), seed=0
+        ).execute(results["locmps"])
+        assert noisy.makespan > 0
+
+        # reporting utilities run on real schedules
+        text = gantt_ascii(results["locmps"])
+        assert "makespan" in text
+        summary = schedule_summary(results["locmps"], graph)
+        assert "locmps" in summary
+        assert 0 < utilization(results["locmps"]) <= 1.0
+
+
+class TestApplicationPipeline:
+    def test_ccsd_small(self):
+        graph = ccsd_t1_graph(o=8, v=24)
+        cluster = Cluster(num_processors=4, bandwidth=MYRINET_2GBPS)
+        mps = LocMpsScheduler().schedule(graph, cluster)
+        assert validate_schedule(mps, graph) == []
+        data = get_scheduler("data").schedule(graph, cluster)
+        # the T1 DAG has many small non-scalable tasks: DATA pays for them
+        assert mps.makespan <= data.makespan + 1e-6
+
+    def test_strassen_both_sizes_schedulable(self):
+        cluster = Cluster(num_processors=4, bandwidth=MYRINET_2GBPS)
+        for n in (64, 256):
+            graph = strassen_graph(n)
+            s = LocMpsScheduler().schedule(graph, cluster)
+            assert validate_schedule(s, graph) == []
+
+    def test_overlap_helps(self):
+        graph = ccsd_t1_graph(o=8, v=24)
+        with_overlap = Cluster(num_processors=4, bandwidth=MYRINET_2GBPS)
+        without = with_overlap.with_overlap(False)
+        m_with = LocMpsScheduler().schedule(graph, with_overlap).makespan
+        m_without = LocMpsScheduler().schedule(graph, without).makespan
+        # hiding communication can only help
+        assert m_with <= m_without + 1e-6
+
+
+class TestCrossSchedulerConsistency:
+    def test_all_schedulers_agree_on_trivial_graph(self):
+        from repro import TaskGraph
+        from repro.speedup import ExecutionProfile, LinearSpeedup
+
+        g = TaskGraph()
+        g.add_task("only", ExecutionProfile(LinearSpeedup(), 12.0))
+        cluster = Cluster(num_processors=4)
+        makespans = {
+            name: get_scheduler(name).schedule(g, cluster).makespan
+            for name in PAPER_SCHEMES
+        }
+        # every mixed-parallel scheme widens the single linear task fully
+        assert makespans["locmps"] == pytest.approx(3.0)
+        assert makespans["data"] == pytest.approx(3.0)
+        assert makespans["task"] == pytest.approx(12.0)

@@ -1,0 +1,187 @@
+"""Interval algebra: unit tests plus hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.intervals import EPS, Interval, IntervalSet
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(1.0, 3.5).length == 2.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 2.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0)
+
+    def test_infinite_end_allowed(self):
+        iv = Interval(0.0, math.inf)
+        assert iv.length == math.inf
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_contains_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(1.5)
+        assert not iv.contains(2.0)
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+        assert not Interval(0, 1).overlaps(Interval(1, 2))  # touching
+
+    def test_covers(self):
+        assert Interval(0, 10).covers(Interval(2, 3))
+        assert not Interval(0, 2).covers(Interval(1, 3))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(10) == Interval(11, 12)
+
+    def test_ordering(self):
+        assert Interval(0, 1) < Interval(0.5, 1)
+
+
+class TestIntervalSet:
+    def test_add_merges_touching(self):
+        s = IntervalSet([Interval(0, 1), Interval(1, 2)])
+        assert len(s) == 1
+        assert s.intervals[0] == Interval(0, 2)
+
+    def test_add_keeps_disjoint(self):
+        s = IntervalSet([Interval(0, 1), Interval(3, 4)])
+        assert len(s) == 2
+
+    def test_add_merges_overlapping_chain(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 7)])
+        s.add(Interval(1, 6))
+        assert len(s) == 1
+        assert s.intervals[0] == Interval(0, 7)
+
+    def test_subtract_splits(self):
+        s = IntervalSet([Interval(0, 10)])
+        s.subtract(Interval(3, 4))
+        assert list(s.intervals) == [Interval(0, 3), Interval(4, 10)]
+
+    def test_subtract_noop_outside(self):
+        s = IntervalSet([Interval(0, 1)])
+        s.subtract(Interval(5, 6))
+        assert list(s.intervals) == [Interval(0, 1)]
+
+    def test_total_length(self):
+        s = IntervalSet([Interval(0, 1), Interval(2, 4)])
+        assert s.total_length == 3.0
+
+    def test_from_pairs(self):
+        s = IntervalSet.from_pairs([(0, 1), (2, 3)])
+        assert len(s) == 2
+
+    def test_complement(self):
+        s = IntervalSet([Interval(2, 3), Interval(5, 6)])
+        gaps = s.complement(Interval(0, 10))
+        assert list(gaps.intervals) == [
+            Interval(0, 2),
+            Interval(3, 5),
+            Interval(6, 10),
+        ]
+
+    def test_complement_empty_set(self):
+        gaps = IntervalSet().complement(Interval(1, 2))
+        assert list(gaps.intervals) == [Interval(1, 2)]
+
+    def test_union_and_intersection(self):
+        a = IntervalSet([Interval(0, 3)])
+        b = IntervalSet([Interval(2, 5)])
+        assert a.union(b).total_length == 5.0
+        assert a.intersection(b).intervals[0] == Interval(2, 3)
+
+    def test_first_fit_before_everything(self):
+        s = IntervalSet([Interval(5, 6)])
+        assert s.first_fit(0.0, 2.0) == 0.0
+
+    def test_first_fit_between(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 6)])
+        assert s.first_fit(0.0, 3.0) == 2.0
+
+    def test_first_fit_after_all(self):
+        s = IntervalSet([Interval(0, 2), Interval(3, 6)])
+        assert s.first_fit(0.0, 1.5) == 6.0
+
+    def test_first_fit_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            IntervalSet().first_fit(0.0, 0.0)
+
+    def test_free_at(self):
+        s = IntervalSet([Interval(1, 2)])
+        assert s.free_at(2.0, 1.0)
+        assert not s.free_at(0.5, 1.0)
+
+    def test_next_event_after(self):
+        s = IntervalSet([Interval(1, 2), Interval(4, 6)])
+        assert s.next_event_after(0.0) == 1.0
+        assert s.next_event_after(2.0) == 4.0
+        assert s.next_event_after(6.0) is None
+
+    def test_equality(self):
+        assert IntervalSet([Interval(0, 1)]) == IntervalSet([Interval(0, 1)])
+        assert IntervalSet([Interval(0, 1)]) != IntervalSet([Interval(0, 2)])
+
+
+# -- property-based ---------------------------------------------------------------
+
+finite_times = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(finite_times)
+    length = draw(st.floats(min_value=0.01, max_value=1e4))
+    return Interval(start, start + length)
+
+
+@given(st.lists(intervals(), max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_property_normal_form(ivs):
+    s = IntervalSet(ivs)
+    stored = list(s.intervals)
+    for a, b in zip(stored, stored[1:]):
+        assert a.end < b.start + EPS  # sorted, disjoint (may touch within EPS)
+
+
+@given(st.lists(intervals(), max_size=15))
+@settings(max_examples=200, deadline=None)
+def test_property_total_length_never_exceeds_sum(ivs):
+    s = IntervalSet(ivs)
+    assert s.total_length <= sum(iv.length for iv in ivs) + 1e-6
+
+
+@given(st.lists(intervals(), max_size=10), intervals())
+@settings(max_examples=200, deadline=None)
+def test_property_subtract_removes_overlap(ivs, cut):
+    s = IntervalSet(ivs)
+    s.subtract(cut)
+    assert not s.overlaps(cut)
+
+
+@given(st.lists(intervals(), max_size=10), finite_times,
+       st.floats(min_value=0.01, max_value=100))
+@settings(max_examples=200, deadline=None)
+def test_property_first_fit_is_free_and_after_earliest(ivs, earliest, dur):
+    s = IntervalSet(ivs)
+    t = s.first_fit(earliest, dur)
+    assert t >= earliest
+    assert s.free_at(t, dur)

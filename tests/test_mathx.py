@@ -1,0 +1,57 @@
+"""Numeric helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.mathx import geo_mean, isclose_time, lcm, mean
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+
+    def test_coprime(self):
+        assert lcm(7, 9) == 63
+
+    def test_identity(self):
+        assert lcm(5, 5) == 5
+
+    def test_one(self):
+        assert lcm(1, 13) == 13
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lcm(0, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lcm(-2, 3)
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geo_mean(self):
+        assert math.isclose(geo_mean([1.0, 4.0]), 2.0)
+
+    def test_geo_mean_single(self):
+        assert math.isclose(geo_mean([3.5]), 3.5)
+
+    def test_geo_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geo_mean([1.0, 0.0])
+
+    def test_geo_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geo_mean([])
+
+
+def test_isclose_time():
+    assert isclose_time(1.0, 1.0 + 1e-12)
+    assert not isclose_time(1.0, 1.001)

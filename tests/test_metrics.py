@@ -1,0 +1,74 @@
+"""Schedule metrics and Gantt rendering."""
+
+import pytest
+
+from repro import Cluster, PlacedTask, Schedule, TaskGraph
+from repro.schedule.metrics import (
+    gantt_ascii,
+    schedule_summary,
+    total_comm_time,
+    total_idle_time,
+    total_nonlocal_bytes,
+    utilization,
+)
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+
+def make_schedule():
+    c = Cluster(num_processors=2, bandwidth=10.0)
+    s = Schedule(c, scheduler="hand")
+    s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0,)))
+    s.place(PlacedTask("B", 0.0, 0.0, 8.0, (1,)))
+    return s
+
+
+class TestUtilization:
+    def test_value(self):
+        s = make_schedule()
+        # busy = 4 + 8 = 12 over 2 procs * 8 makespan = 16
+        assert utilization(s) == pytest.approx(0.75)
+
+    def test_empty_schedule(self):
+        s = Schedule(Cluster(num_processors=2))
+        assert utilization(s) == 0.0
+
+    def test_idle_time(self):
+        assert total_idle_time(make_schedule()) == pytest.approx(4.0)
+
+    def test_full_utilization(self):
+        c = Cluster(num_processors=1)
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 5.0, (0,)))
+        assert utilization(s) == pytest.approx(1.0)
+
+
+class TestCommMetrics:
+    def test_total_comm_time(self):
+        s = make_schedule()
+        s.edge_comm_times[("A", "B")] = 2.5
+        assert total_comm_time(s) == 2.5
+
+    def test_nonlocal_bytes(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 4.0))
+        g.add_task("B", ExecutionProfile(LinearSpeedup(), 8.0))
+        g.add_edge("A", "B", 100.0)
+        s = make_schedule()  # A on (0,), B on (1,): all bytes cross
+        assert total_nonlocal_bytes(s, g) == pytest.approx(100.0)
+
+
+class TestRendering:
+    def test_gantt_contains_rows(self):
+        text = gantt_ascii(make_schedule())
+        assert "P  0" in text
+        assert "makespan = 8" in text
+        assert "A=A" in text  # legend
+
+    def test_gantt_empty(self):
+        s = Schedule(Cluster(num_processors=2))
+        assert "empty" in gantt_ascii(s)
+
+    def test_summary_mentions_scheduler(self):
+        text = schedule_summary(make_schedule())
+        assert "scheduler=hand" in text
+        assert "makespan=8.000" in text

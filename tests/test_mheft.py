@@ -1,0 +1,72 @@
+"""M-HEFT-style width-selection baseline."""
+
+import math
+
+import pytest
+
+from repro import Cluster, TaskGraph, validate_schedule
+from repro.exceptions import ScheduleError
+from repro.schedulers import get_scheduler
+from repro.schedulers.mheft import MHeftScheduler
+from repro.speedup import AmdahlSpeedup, ExecutionProfile, LinearSpeedup
+
+from tests.helpers import build_random_graph
+
+
+class TestMHeft:
+    def test_single_linear_task_full_width(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 16.0))
+        s = MHeftScheduler().schedule(g, Cluster(num_processors=8))
+        assert s["A"].width == 8
+        assert s.makespan == pytest.approx(2.0)
+
+    def test_serial_task_stays_narrow(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(AmdahlSpeedup(1.0), 16.0))
+        s = MHeftScheduler().schedule(g, Cluster(num_processors=8))
+        assert s["A"].width == 1
+
+    def test_width_trades_against_waiting(self):
+        # two independent linear tasks on 2 procs: taking the full machine
+        # serializes them (8+8=16 on 2 procs -> 4+4... ) — EFT picks one
+        # processor each and runs them side by side.
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 8.0))
+        g.add_task("B", ExecutionProfile(LinearSpeedup(), 8.0))
+        s = MHeftScheduler().schedule(g, Cluster(num_processors=2))
+        assert s.makespan <= 8.0 + 1e-9
+
+    def test_valid_on_random_graphs(self):
+        for seed in range(3):
+            g = build_random_graph(10, seed)
+            for overlap in (True, False):
+                cl = Cluster(num_processors=6, overlap=overlap)
+                s = MHeftScheduler().schedule(g, cl)
+                assert validate_schedule(s, g) == []
+
+    def test_registered(self):
+        assert get_scheduler("mheft").name == "mheft"
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ScheduleError):
+            MHeftScheduler().run(TaskGraph(), Cluster(num_processors=2))
+
+    def test_stronger_than_task_parallel_on_scalable_chain(self):
+        from tests.helpers import build_chain_graph
+
+        g = build_chain_graph(4, et1=16.0)
+        cl = Cluster(num_processors=8)
+        mheft = MHeftScheduler().schedule(g, cl).makespan
+        task = get_scheduler("task").schedule(g, cl).makespan
+        assert mheft < task
+
+    def test_locmps_beats_or_ties_mheft_on_average(self):
+        log_ratio = 0.0
+        for seed in range(4):
+            g = build_random_graph(10, seed)
+            cl = Cluster(num_processors=8)
+            mps = get_scheduler("locmps").schedule(g, cl).makespan
+            mh = MHeftScheduler().schedule(g, cl).makespan
+            log_ratio += math.log(mps / mh)
+        assert log_ratio <= 1e-9

@@ -1,0 +1,106 @@
+"""The paper's three worked examples, reproduced exactly.
+
+* Fig 1: schedule-DAG construction — the given allocation on 4 processors
+  serializes T2/T3 (pseudo-edge) and yields makespan 30.
+* Fig 2: candidate selection — widening T2 (low concurrency ratio) reaches
+  makespan 15, beating the greedy-gain choice of T1.
+* Fig 3: bounded look-ahead — escapes the local minimum at 40 and finds the
+  data-parallel schedule of makespan 30.
+"""
+
+import pytest
+
+from repro import Cluster, LocMpsScheduler, concurrency_ratio, validate_schedule
+from repro.schedulers import locbs_schedule
+
+from tests.helpers import build_fig1_graph, build_fig2_graph, build_fig3_graph
+
+
+class TestFig1:
+    """Fig 1: pseudo-edges and the schedule critical path."""
+
+    def test_makespan_30(self):
+        g = build_fig1_graph()
+        cl = Cluster(num_processors=4, bandwidth=1e6)
+        res = locbs_schedule(g, cl, {"T1": 4, "T2": 3, "T3": 2, "T4": 4})
+        assert res.makespan == pytest.approx(30.0)
+
+    def test_pseudo_edge_t2_t3(self):
+        g = build_fig1_graph()
+        cl = Cluster(num_processors=4, bandwidth=1e6)
+        res = locbs_schedule(g, cl, {"T1": 4, "T2": 3, "T3": 2, "T4": 4})
+        assert res.sdag.pseudo_edges() == [("T2", "T3")]
+
+    def test_critical_path_follows_serialization(self):
+        g = build_fig1_graph()
+        cl = Cluster(num_processors=4, bandwidth=1e6)
+        res = locbs_schedule(g, cl, {"T1": 4, "T2": 3, "T3": 2, "T4": 4})
+        length, path = res.sdag.critical_path()
+        assert length == pytest.approx(30.0)
+        assert path == ["T1", "T2", "T3", "T4"]
+
+    def test_execution_times_match_profile(self):
+        g = build_fig1_graph()
+        cl = Cluster(num_processors=4, bandwidth=1e6)
+        res = locbs_schedule(g, cl, {"T1": 4, "T2": 3, "T3": 2, "T4": 4})
+        s = res.schedule
+        assert s["T1"].exec_duration == pytest.approx(10.0)
+        assert s["T2"].exec_duration == pytest.approx(7.0)
+        assert s["T3"].exec_duration == pytest.approx(5.0)
+        assert s["T4"].exec_duration == pytest.approx(8.0)
+
+
+class TestFig2:
+    """Fig 2: concurrency-ratio-aware candidate selection."""
+
+    def test_concurrency_ratios(self):
+        g = build_fig2_graph()
+        nx = g.nx_graph()
+        # T1 runs concurrent to T3 (9) and T4 (7): cr = 16/10
+        assert concurrency_ratio(nx, "T1", g.sequential_time) == pytest.approx(1.6)
+        # T2 depends on everything: nothing is concurrent to it
+        assert concurrency_ratio(nx, "T2", g.sequential_time) == 0.0
+
+    def test_locmps_reaches_15(self):
+        g = build_fig2_graph()
+        s = LocMpsScheduler().schedule(g, Cluster(num_processors=3, bandwidth=1e6))
+        assert s.makespan == pytest.approx(15.0)
+        assert validate_schedule(s, g) == []
+
+    def test_t2_widened_to_three(self):
+        g = build_fig2_graph()
+        s = LocMpsScheduler().schedule(g, Cluster(num_processors=3, bandwidth=1e6))
+        assert s["T2"].width == 3
+
+    def test_greedy_t1_choice_is_worse(self):
+        # Quantify the paper's point: keeping T2 narrow and widening T1
+        # serializes T3/T4 and lands above 15.
+        g = build_fig2_graph()
+        cl = Cluster(num_processors=3, bandwidth=1e6)
+        greedy = locbs_schedule(g, cl, {"T1": 2, "T2": 1, "T3": 1, "T4": 1})
+        assert greedy.makespan > 15.0
+
+
+class TestFig3:
+    """Fig 3: bounded look-ahead escapes the local minimum."""
+
+    def test_data_parallel_schedule_found(self):
+        g = build_fig3_graph()
+        s = LocMpsScheduler().schedule(g, Cluster(num_processors=4))
+        assert s.makespan == pytest.approx(30.0)
+        assert s["T1"].width == 4
+        assert s["T2"].width == 4
+
+    def test_local_minimum_is_40(self):
+        # The trap the paper describes: T2 on 3 processors, T1 on 1.
+        g = build_fig3_graph()
+        cl = Cluster(num_processors=4)
+        stuck = locbs_schedule(g, cl, {"T1": 1, "T2": 3})
+        assert stuck.makespan == pytest.approx(40.0)
+
+    def test_execution_profile_matches_paper_table(self):
+        g = build_fig3_graph()
+        assert g.et("T1", 1) == 40.0
+        assert g.et("T1", 4) == 10.0
+        assert g.et("T2", 3) == pytest.approx(80 / 3)
+        assert g.et("T2", 4) == 20.0

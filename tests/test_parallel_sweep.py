@@ -1,0 +1,56 @@
+"""Process-pool fan-out of experiment sweeps (future-work parallelization)."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.common import run_comparison
+
+from tests.helpers import build_random_graph
+
+
+class TestWorkers:
+    def test_parallel_matches_serial(self):
+        graphs = [build_random_graph(6, s) for s in (0, 1)]
+        serial = run_comparison(
+            graphs, ["cpa", "task"], [2, 4], bandwidth=12.5e6, workers=1
+        )
+        parallel = run_comparison(
+            graphs, ["cpa", "task"], [2, 4], bandwidth=12.5e6, workers=2
+        )
+        assert serial.makespans == parallel.makespans
+
+    def test_custom_factory_rejected_with_workers(self):
+        graphs = [build_random_graph(4, 0)]
+        with pytest.raises(ExperimentError, match="picklable"):
+            run_comparison(
+                graphs,
+                ["task"],
+                [2],
+                bandwidth=1e6,
+                workers=2,
+                scheduler_factory=lambda name: None,
+            )
+
+    def test_custom_factory_serial_path(self):
+        from repro.schedulers import get_scheduler
+
+        calls = []
+
+        def factory(name):
+            calls.append(name)
+            return get_scheduler(name)
+
+        graphs = [build_random_graph(4, 0)]
+        result = run_comparison(
+            graphs, ["task"], [2], bandwidth=1e6, scheduler_factory=factory
+        )
+        assert calls == ["task"]
+        assert result.mean_makespan("task")[0] > 0
+
+
+class TestCliWorkersFlag:
+    def test_parse_and_run(self, capsys):
+        from repro.experiments.cli import main
+
+        main(["fig9a", "--procs", "2", "--workers", "1"])
+        assert "Fig 9(a)" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""ScheduleDAG: pseudo-edges, critical paths, cost decomposition."""
+
+import pytest
+
+from repro import TaskGraph
+from repro.exceptions import CycleError, GraphError
+from repro.graph.pseudo import ScheduleDAG
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+
+def make_base():
+    g = TaskGraph("base")
+    for n in ("A", "B", "C", "D"):
+        g.add_task(n, ExecutionProfile(LinearSpeedup(), 10.0))
+    g.add_edge("A", "B", 100.0)
+    g.add_edge("A", "C", 100.0)
+    g.add_edge("B", "D", 100.0)
+    g.add_edge("C", "D", 100.0)
+    return g
+
+
+def make_sdag(vw=None, ew=None):
+    base = make_base()
+    vw = vw or {n: 10.0 for n in base.tasks()}
+    ew = ew or {}
+    return base, ScheduleDAG(base, vw, ew)
+
+
+class TestConstruction:
+    def test_missing_vertex_weight_rejected(self):
+        base = make_base()
+        with pytest.raises(GraphError, match="missing"):
+            ScheduleDAG(base, {"A": 1.0}, {})
+
+    def test_negative_edge_weight_rejected(self):
+        base = make_base()
+        with pytest.raises(GraphError):
+            ScheduleDAG(
+                base, {n: 1.0 for n in base.tasks()}, {("A", "B"): -1.0}
+            )
+
+    def test_default_edge_weight_zero(self):
+        _, sdag = make_sdag()
+        assert sdag.edge_weight("A", "B") == 0.0
+
+    def test_real_edges_enumerated(self):
+        _, sdag = make_sdag()
+        assert set(sdag.real_edges()) == {
+            ("A", "B"), ("A", "C"), ("B", "D"), ("C", "D"),
+        }
+
+
+class TestPseudoEdges:
+    def test_add_pseudo_edge(self):
+        _, sdag = make_sdag()
+        sdag.add_pseudo_edge("B", "C")
+        assert sdag.is_pseudo("B", "C")
+        assert ("B", "C") in sdag.pseudo_edges()
+        assert sdag.edge_weight("B", "C") == 0.0
+
+    def test_pseudo_parallel_to_real_is_noop(self):
+        _, sdag = make_sdag()
+        sdag.add_pseudo_edge("A", "B")
+        assert not sdag.is_pseudo("A", "B")
+        assert sdag.pseudo_edges() == []
+
+    def test_pseudo_cycle_rejected(self):
+        _, sdag = make_sdag()
+        with pytest.raises(CycleError):
+            sdag.add_pseudo_edge("D", "A")
+
+    def test_pseudo_self_loop_rejected(self):
+        _, sdag = make_sdag()
+        with pytest.raises(CycleError):
+            sdag.add_pseudo_edge("A", "A")
+
+    def test_pseudo_unknown_endpoint(self):
+        _, sdag = make_sdag()
+        with pytest.raises(GraphError):
+            sdag.add_pseudo_edge("A", "Z")
+
+    def test_duplicate_pseudo_is_noop(self):
+        _, sdag = make_sdag()
+        sdag.add_pseudo_edge("B", "C")
+        sdag.add_pseudo_edge("B", "C")
+        assert sdag.pseudo_edges() == [("B", "C")]
+
+
+class TestCriticalPath:
+    def test_without_pseudo_edges(self):
+        _, sdag = make_sdag()
+        length, path = sdag.critical_path()
+        assert length == 30.0
+        assert path in (["A", "B", "D"], ["A", "C", "D"])
+
+    def test_pseudo_edge_extends_cp(self):
+        # Serializing B and C reproduces the paper's Fig 1: CP includes both.
+        _, sdag = make_sdag()
+        sdag.add_pseudo_edge("B", "C")
+        length, path = sdag.critical_path()
+        assert length == 40.0
+        assert path == ["A", "B", "C", "D"]
+
+    def test_edge_weights_counted(self):
+        _, sdag = make_sdag(ew={("A", "B"): 5.0, ("B", "D"): 7.0})
+        length, path = sdag.critical_path()
+        assert length == 42.0
+        assert path == ["A", "B", "D"]
+
+    def test_path_costs_decomposition(self):
+        _, sdag = make_sdag(ew={("A", "B"): 5.0, ("B", "D"): 7.0})
+        _, path = sdag.critical_path()
+        tcomp, tcomm = sdag.path_costs(path)
+        assert tcomp == 30.0
+        assert tcomm == 12.0
+
+    def test_path_costs_pseudo_edges_free(self):
+        _, sdag = make_sdag()
+        sdag.add_pseudo_edge("B", "C")
+        _, path = sdag.critical_path()
+        tcomp, tcomm = sdag.path_costs(path)
+        assert tcomp == 40.0
+        assert tcomm == 0.0
+
+    def test_path_costs_rejects_non_path(self):
+        _, sdag = make_sdag()
+        with pytest.raises(GraphError):
+            sdag.path_costs(["A", "D"])
+
+    def test_real_edges_on_path_skips_pseudo(self):
+        _, sdag = make_sdag(ew={("A", "B"): 5.0, ("C", "D"): 3.0})
+        sdag.add_pseudo_edge("B", "C")
+        _, path = sdag.critical_path()
+        reals = sdag.real_edges_on_path(path)
+        assert ("A", "B", 5.0) in reals
+        assert ("C", "D", 3.0) in reals
+        assert all(not sdag.is_pseudo(u, v) for u, v, _ in reals)

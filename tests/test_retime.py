@@ -1,0 +1,53 @@
+"""Plan re-timing under the real communication model."""
+
+import pytest
+
+from repro import Cluster, TaskGraph, validate_schedule
+from repro.schedulers import locbs_schedule
+from repro.schedulers.locbs import LocbsOptions
+from repro.schedulers.retime import retime_with_communication
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+from tests.helpers import build_random_graph
+
+
+class TestRetime:
+    def test_comm_blind_plan_pays_at_retime(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 10.0))
+        g.add_task("B", ExecutionProfile(LinearSpeedup(), 10.0))
+        g.add_edge("A", "B", 1e7)  # 10s at 1 MB/s between disjoint sets
+        cl = Cluster(num_processors=4, bandwidth=1e6)
+        plan = locbs_schedule(
+            g, cl, {"A": 2, "B": 2}, LocbsOptions(comm_blind=True)
+        )
+        retimed = retime_with_communication(g, cl, plan.schedule)
+        assert validate_schedule(retimed.schedule, g) == []
+        # the retimed schedule can never be faster than the blind plan
+        assert retimed.makespan >= plan.makespan - 1e-9
+
+    def test_exact_replay_when_no_comm(self):
+        g = build_random_graph(10, 1, ccr_volume=0.0)
+        cl = Cluster(num_processors=4)
+        plan = locbs_schedule(g, cl, {t: 1 for t in g.tasks()})
+        retimed = retime_with_communication(g, cl, plan.schedule)
+        assert retimed.makespan == pytest.approx(plan.makespan)
+
+    def test_processor_sets_preserved(self):
+        g = build_random_graph(8, 2)
+        cl = Cluster(num_processors=4)
+        plan = locbs_schedule(
+            g, cl, {t: 1 for t in g.tasks()}, LocbsOptions(comm_blind=True)
+        )
+        retimed = retime_with_communication(g, cl, plan.schedule)
+        for t in g.tasks():
+            assert retimed.schedule[t].processors == plan.schedule[t].processors
+
+    def test_no_overlap_mode(self):
+        g = build_random_graph(8, 3)
+        cl = Cluster(num_processors=4, overlap=False)
+        plan = locbs_schedule(
+            g, cl, {t: 1 for t in g.tasks()}, LocbsOptions(comm_blind=True)
+        )
+        retimed = retime_with_communication(g, cl, plan.schedule)
+        assert validate_schedule(retimed.schedule, g) == []

@@ -1,0 +1,100 @@
+"""PlacedTask and Schedule containers."""
+
+import pytest
+
+from repro import Cluster, PlacedTask, Schedule
+from repro.exceptions import ScheduleError
+
+
+def placed(name="T", start=0.0, exec_start=None, finish=5.0, procs=(0, 1)):
+    return PlacedTask(
+        name=name,
+        start=start,
+        exec_start=start if exec_start is None else exec_start,
+        finish=finish,
+        processors=tuple(procs),
+    )
+
+
+class TestPlacedTask:
+    def test_properties(self):
+        p = placed(start=1.0, exec_start=2.0, finish=7.0, procs=(0, 1, 2))
+        assert p.width == 3
+        assert p.duration == 6.0
+        assert p.exec_duration == 5.0
+
+    def test_rejects_empty_procs(self):
+        with pytest.raises(ScheduleError):
+            placed(procs=())
+
+    def test_rejects_duplicate_procs(self):
+        with pytest.raises(ScheduleError):
+            placed(procs=(1, 1))
+
+    def test_rejects_inconsistent_times(self):
+        with pytest.raises(ScheduleError):
+            placed(start=5.0, exec_start=2.0, finish=9.0)
+        with pytest.raises(ScheduleError):
+            placed(start=0.0, exec_start=0.0, finish=-1.0)
+
+    def test_zero_duration_allowed(self):
+        p = placed(start=3.0, finish=3.0)
+        assert p.duration == 0.0
+
+
+class TestSchedule:
+    def make(self):
+        return Schedule(Cluster(num_processors=4), scheduler="test")
+
+    def test_place_and_query(self):
+        s = self.make()
+        s.place(placed("A", finish=4.0))
+        assert "A" in s
+        assert len(s) == 1
+        assert s["A"].finish == 4.0
+        assert s.finish_time("A") == 4.0
+        assert s.start_time("A") == 0.0
+        assert s.processors_of("A") == (0, 1)
+
+    def test_duplicate_placement_rejected(self):
+        s = self.make()
+        s.place(placed("A"))
+        with pytest.raises(ScheduleError, match="twice"):
+            s.place(placed("A"))
+
+    def test_foreign_processor_rejected(self):
+        s = self.make()
+        with pytest.raises(ScheduleError, match="unknown processors"):
+            s.place(placed("A", procs=(0, 9)))
+
+    def test_makespan(self):
+        s = self.make()
+        assert s.makespan == 0.0
+        s.place(placed("A", finish=4.0))
+        s.place(placed("B", start=1.0, finish=9.0, procs=(2,)))
+        assert s.makespan == 9.0
+
+    def test_allocation(self):
+        s = self.make()
+        s.place(placed("A", procs=(0, 1, 2)))
+        s.place(placed("B", procs=(3,)))
+        assert s.allocation() == {"A": 3, "B": 1}
+
+    def test_missing_task_raises(self):
+        s = self.make()
+        with pytest.raises(ScheduleError):
+            s["nope"]
+        assert s.get("nope") is None
+
+    def test_iteration(self):
+        s = self.make()
+        s.place(placed("A"))
+        s.place(placed("B", procs=(2,)))
+        assert {p.name for p in s} == {"A", "B"}
+
+    def test_placements_read_only_copy(self):
+        s = self.make()
+        s.place(placed("A"))
+        snapshot = s.placements
+        snapshot["B"] = placed("B", procs=(3,))
+        assert "B" not in s

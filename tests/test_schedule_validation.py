@@ -1,0 +1,128 @@
+"""The independent schedule validator (the library's oracle)."""
+
+import pytest
+
+from repro import Cluster, PlacedTask, Schedule, TaskGraph, validate_schedule
+from repro.exceptions import ValidationError
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+
+def make_graph():
+    g = TaskGraph("pair")
+    g.add_task("A", ExecutionProfile(LinearSpeedup(), 8.0))
+    g.add_task("B", ExecutionProfile(LinearSpeedup(), 8.0))
+    g.add_edge("A", "B", 100.0)  # 100 bytes
+    return g
+
+
+def make_cluster(overlap=True):
+    return Cluster(num_processors=4, bandwidth=10.0, overlap=overlap)
+
+
+def valid_schedule(graph, cluster):
+    """A hand-built valid schedule: A on (0,1) then B on (2,3)."""
+    s = Schedule(cluster, scheduler="hand")
+    s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+    # transfer (0,1) -> (2,3): all 100 bytes remote, agg bw = 2*10 = 20 -> 5s
+    s.place(PlacedTask("B", 9.0, 9.0, 13.0, (2, 3)))
+    return s
+
+
+class TestValid:
+    def test_hand_built_schedule_passes(self):
+        g = make_graph()
+        c = make_cluster()
+        assert validate_schedule(valid_schedule(g, c), g) == []
+
+    def test_collect_mode_returns_empty(self):
+        g = make_graph()
+        c = make_cluster()
+        assert validate_schedule(valid_schedule(g, c), g, collect=True) == []
+
+
+class TestViolations:
+    def test_missing_task(self):
+        g = make_graph()
+        c = make_cluster()
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+        with pytest.raises(ValidationError, match="not scheduled"):
+            validate_schedule(s, g)
+
+    def test_unknown_task(self):
+        g = make_graph()
+        c = make_cluster()
+        s = valid_schedule(g, c)
+        s.place(PlacedTask("ghost", 0.0, 0.0, 1.0, (0,)))
+        errors = validate_schedule(s, g, collect=True)
+        assert any("unknown tasks" in e for e in errors)
+
+    def test_processor_conflict(self):
+        g = make_graph()
+        # remove dependence so overlap in time is the only problem
+        g2 = TaskGraph("pair2")
+        g2.add_task("A", ExecutionProfile(LinearSpeedup(), 8.0))
+        g2.add_task("B", ExecutionProfile(LinearSpeedup(), 8.0))
+        c = make_cluster()
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+        s.place(PlacedTask("B", 2.0, 2.0, 6.0, (1, 2)))
+        errors = validate_schedule(s, g2, collect=True)
+        assert any("conflict" in e for e in errors)
+
+    def test_wrong_duration(self):
+        g = make_graph()
+        c = make_cluster()
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 3.0, (0, 1)))  # should be 4.0
+        s.place(PlacedTask("B", 9.0, 9.0, 13.0, (2, 3)))
+        errors = validate_schedule(s, g, collect=True)
+        assert any("et(A" in e for e in errors)
+
+    def test_start_before_data_arrival(self):
+        g = make_graph()
+        c = make_cluster()
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+        # data needs 5s transfer: exec at 6.0 is too early (arrival 9.0)
+        s.place(PlacedTask("B", 6.0, 6.0, 10.0, (2, 3)))
+        errors = validate_schedule(s, g, collect=True)
+        assert any("before data" in e for e in errors)
+
+    def test_local_data_needs_no_transfer(self):
+        g = make_graph()
+        c = make_cluster()
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+        # same processors: transfer free, starting right away is fine
+        s.place(PlacedTask("B", 4.0, 4.0, 8.0, (0, 1)))
+        assert validate_schedule(s, g) == []
+
+
+class TestNoOverlapMode:
+    def test_requires_comm_budget(self):
+        g = make_graph()
+        c = make_cluster(overlap=False)
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+        # no budget between start and exec_start although 5s are needed
+        s.place(PlacedTask("B", 4.0, 4.0, 8.0, (2, 3)))
+        errors = validate_schedule(s, g, collect=True)
+        assert any("no-overlap" in e for e in errors)
+
+    def test_budgeted_schedule_passes(self):
+        g = make_graph()
+        c = make_cluster(overlap=False)
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+        s.place(PlacedTask("B", 4.0, 9.0, 13.0, (2, 3)))
+        assert validate_schedule(s, g) == []
+
+    def test_cannot_occupy_before_parent_finish(self):
+        g = make_graph()
+        c = make_cluster(overlap=False)
+        s = Schedule(c)
+        s.place(PlacedTask("A", 0.0, 0.0, 4.0, (0, 1)))
+        s.place(PlacedTask("B", 3.0, 9.0, 13.0, (2, 3)))
+        errors = validate_schedule(s, g, collect=True)
+        assert any("before parent" in e for e in errors)

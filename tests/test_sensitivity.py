@@ -1,0 +1,37 @@
+"""Bandwidth-sensitivity experiment driver."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.sensitivity import run_bandwidth_sensitivity
+
+from tests.helpers import build_random_graph
+
+
+class TestSensitivity:
+    def test_micro_run(self):
+        g = build_random_graph(8, 1, ccr_volume=3e7)
+        result = run_bandwidth_sensitivity(
+            g,
+            num_processors=4,
+            bandwidths=[100e6, 10e6],
+            schemes=("locmps", "data"),
+        )
+        assert result.proc_counts == [100, 10]
+        assert result.series["locmps"] == [pytest.approx(1.0)] * 2
+        assert len(result.series["data"]) == 2
+        assert result.notes  # makespans recorded
+
+    def test_empty_bandwidths_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_bandwidth_sensitivity(
+                build_random_graph(4, 0), bandwidths=[], num_processors=2
+            )
+
+    def test_default_workload_is_ccsd(self):
+        result = run_bandwidth_sensitivity(
+            num_processors=2,
+            bandwidths=[250e6],
+            schemes=("locmps", "cpa"),
+        )
+        assert "ccsd-t1" in result.title

@@ -1,0 +1,58 @@
+"""The replay/gantt CLI (python -m repro.sim)."""
+
+import pytest
+
+from repro import Cluster, get_scheduler, save_graph
+from repro.schedule import save_schedule
+from repro.sim.cli import main
+
+from tests.helpers import build_random_graph
+
+
+@pytest.fixture
+def saved(tmp_path):
+    g = build_random_graph(8, 3)
+    cl = Cluster(num_processors=4)
+    s = get_scheduler("cpa").schedule(g, cl)
+    gpath = tmp_path / "graph.json"
+    spath = tmp_path / "schedule.json"
+    save_graph(g, gpath)
+    save_schedule(s, spath)
+    return g, s, str(gpath), str(spath), tmp_path
+
+
+class TestReplayCommand:
+    def test_exact_replay(self, saved, capsys):
+        _, s, gpath, spath, _ = saved
+        main(["replay", "--graph", gpath, "--schedule", spath])
+        out = capsys.readouterr().out
+        assert "trial 0" in out
+        assert "slowdown" in out
+
+    def test_noisy_trials_report_geo_mean(self, saved, capsys):
+        _, _, gpath, spath, _ = saved
+        main([
+            "replay", "--graph", gpath, "--schedule", spath,
+            "--noise", "0.2", "--trials", "3", "--seed", "5",
+        ])
+        out = capsys.readouterr().out
+        assert out.count("trial") == 3
+        assert "geo-mean" in out
+
+    def test_single_port_flag(self, saved, capsys):
+        _, _, gpath, spath, _ = saved
+        main([
+            "replay", "--graph", gpath, "--schedule", spath, "--single-port",
+        ])
+        assert "trial 0" in capsys.readouterr().out
+
+
+class TestGanttCommand:
+    def test_writes_svg(self, saved, capsys):
+        _, _, _, spath, tmp = saved
+        out_path = tmp / "chart.svg"
+        main(["gantt", "--schedule", spath, "--out", str(out_path),
+              "--title", "demo"])
+        assert out_path.read_text().startswith("<svg")
+        assert "demo" in out_path.read_text()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Discrete-event replay engine."""
+
+import pytest
+
+from repro import Cluster, TaskGraph
+from repro.exceptions import SimulationError
+from repro.schedulers import get_scheduler, locbs_schedule
+from repro.sim import (
+    Event,
+    EventKind,
+    ExecutionEngine,
+    LognormalNoise,
+    NoNoise,
+)
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+from tests.helpers import build_random_graph
+
+
+class TestExactReplay:
+    @pytest.mark.parametrize("name", ["locmps", "cpr", "task", "data"])
+    def test_replay_not_slower_without_noise(self, name):
+        g = build_random_graph(10, 3)
+        cl = Cluster(num_processors=4)
+        schedule = get_scheduler(name).schedule(g, cl)
+        engine = ExecutionEngine(g, cl)
+        report = engine.execute(schedule)
+        # an exact replay compacts resource waits, never adds them
+        assert report.makespan <= schedule.makespan + 1e-6
+        assert report.planned_makespan == pytest.approx(schedule.makespan)
+        assert 0 < report.slowdown <= 1.0 + 1e-9
+
+    def test_replay_preserves_processor_sets(self):
+        g = build_random_graph(8, 1)
+        cl = Cluster(num_processors=4)
+        schedule = get_scheduler("task").schedule(g, cl)
+        report = ExecutionEngine(g, cl).execute(schedule)
+        for t in g.tasks():
+            assert report.tasks[t].processors == schedule[t].processors
+
+    def test_chain_timings_exact(self):
+        g = TaskGraph()
+        g.add_task("A", ExecutionProfile(LinearSpeedup(), 4.0))
+        g.add_task("B", ExecutionProfile(LinearSpeedup(), 6.0))
+        g.add_edge("A", "B", 0.0)
+        cl = Cluster(num_processors=1)
+        schedule = get_scheduler("task").schedule(g, cl)
+        report = ExecutionEngine(g, cl).execute(schedule)
+        assert report.tasks["A"].finish == pytest.approx(4.0)
+        assert report.tasks["B"].start == pytest.approx(4.0)
+        assert report.makespan == pytest.approx(10.0)
+
+    def test_missing_task_rejected(self):
+        g = build_random_graph(4, 0)
+        cl = Cluster(num_processors=2)
+        from repro.schedule import Schedule
+
+        with pytest.raises(SimulationError, match="missing"):
+            ExecutionEngine(g, cl).execute(Schedule(cl))
+
+
+class TestEvents:
+    def test_events_recorded_and_ordered(self):
+        g = build_random_graph(6, 2)
+        cl = Cluster(num_processors=2)
+        schedule = get_scheduler("task").schedule(g, cl)
+        report = ExecutionEngine(g, cl).execute(schedule)
+        assert report.events
+        times = [e.time for e in report.events]
+        assert times == sorted(times)
+        starts = [e for e in report.events if e.kind is EventKind.TASK_START]
+        ends = [e for e in report.events if e.kind is EventKind.TASK_END]
+        assert len(starts) == len(ends) == g.num_tasks
+
+    def test_events_can_be_disabled(self):
+        g = build_random_graph(5, 2)
+        cl = Cluster(num_processors=2)
+        schedule = get_scheduler("task").schedule(g, cl)
+        report = ExecutionEngine(g, cl).execute(schedule, record_events=False)
+        assert report.events == []
+
+
+class TestNoise:
+    def test_noise_changes_makespan(self):
+        g = build_random_graph(8, 4)
+        cl = Cluster(num_processors=4)
+        schedule = get_scheduler("task").schedule(g, cl)
+        noisy = ExecutionEngine(
+            g, cl, noise=LognormalNoise(0.3, 0.3), seed=1
+        ).execute(schedule)
+        exact = ExecutionEngine(g, cl).execute(schedule)
+        assert noisy.makespan != pytest.approx(exact.makespan)
+
+    def test_noise_deterministic_by_seed(self):
+        g = build_random_graph(8, 4)
+        cl = Cluster(num_processors=4)
+        schedule = get_scheduler("task").schedule(g, cl)
+        a = ExecutionEngine(g, cl, noise=LognormalNoise(0.2), seed=5).execute(schedule)
+        b = ExecutionEngine(g, cl, noise=LognormalNoise(0.2), seed=5).execute(schedule)
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_zero_sigma_equals_exact(self):
+        g = build_random_graph(8, 4)
+        cl = Cluster(num_processors=4)
+        schedule = get_scheduler("task").schedule(g, cl)
+        zero = ExecutionEngine(
+            g, cl, noise=LognormalNoise(0.0, 0.0), seed=5
+        ).execute(schedule)
+        exact = ExecutionEngine(g, cl).execute(schedule)
+        assert zero.makespan == pytest.approx(exact.makespan)
+
+
+class TestSinglePort:
+    def test_single_port_never_faster(self):
+        g = build_random_graph(8, 6)
+        cl = Cluster(num_processors=4)
+        schedule = get_scheduler("task").schedule(g, cl)
+        agg = ExecutionEngine(g, cl, use_single_port=False).execute(schedule)
+        sp = ExecutionEngine(g, cl, use_single_port=True).execute(schedule)
+        assert sp.makespan >= agg.makespan - 1e-9
+
+
+class TestNoiseModels:
+    def test_nonoise_factors(self):
+        import numpy as np
+
+        n = NoNoise()
+        rng = np.random.default_rng(0)
+        assert n.duration_factor(rng) == 1.0
+        assert n.bandwidth_factor(rng) == 1.0
+
+    def test_lognormal_median_one(self):
+        import numpy as np
+
+        noise = LognormalNoise(0.2, 0.2)
+        rng = np.random.default_rng(0)
+        draws = [noise.duration_factor(rng) for _ in range(4000)]
+        assert abs(float(np.median(draws)) - 1.0) < 0.05
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            LognormalNoise(-0.1)

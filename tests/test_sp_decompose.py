@@ -1,0 +1,92 @@
+"""Series-parallel decomposition of task DAGs."""
+
+import pytest
+
+from repro import TaskGraph
+from repro.graph.sp import sp_decompose
+from repro.schedulers.prasanna import effective_work
+from repro.speedup import ExecutionProfile, LinearSpeedup
+from repro.workloads import fft_graph
+
+from tests.helpers import build_fig1_graph, build_fig2_graph, build_fig3_graph
+
+
+def lin_graph(names, edges):
+    g = TaskGraph()
+    for n in names:
+        g.add_task(n, ExecutionProfile(LinearSpeedup(), 10.0))
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def leaf_names(node):
+    return sorted(l.name for l in node.leaves())
+
+
+class TestDecompose:
+    def test_single_task(self):
+        g = lin_graph(["A"], [])
+        expr = sp_decompose(g)
+        assert expr.kind == "leaf"
+        assert expr.name == "A"
+        assert expr.work == 10.0
+
+    def test_empty_graph(self):
+        assert sp_decompose(TaskGraph()) is None
+
+    def test_chain_is_series(self):
+        g = lin_graph("ABC", [("A", "B"), ("B", "C")])
+        expr = sp_decompose(g)
+        assert expr.kind == "series"
+        assert [c.name for c in expr.children] == ["A", "B", "C"]
+
+    def test_independent_tasks_are_parallel(self):
+        g = lin_graph("AB", [])
+        expr = sp_decompose(g)
+        assert expr.kind == "parallel"
+        assert leaf_names(expr) == ["A", "B"]
+
+    def test_diamond(self):
+        g = build_fig1_graph()
+        expr = sp_decompose(g)
+        assert expr.kind == "series"
+        kinds = [c.kind for c in expr.children]
+        assert kinds == ["leaf", "parallel", "leaf"]
+        assert leaf_names(expr.children[1]) == ["T2", "T3"]
+
+    def test_fig2_join(self):
+        g = build_fig2_graph()  # {T1, T3, T4} -> T2
+        expr = sp_decompose(g)
+        assert expr.kind == "series"
+        assert expr.children[0].kind == "parallel"
+        assert expr.children[-1].name == "T2"
+
+    def test_fig3_independent(self):
+        expr = sp_decompose(build_fig3_graph())
+        assert expr.kind == "parallel"
+
+    def test_fft_decomposes_exactly(self):
+        g = fft_graph(1 << 14, levels=2)
+        expr = sp_decompose(g)
+        assert expr is not None
+        assert leaf_names(expr) == sorted(g.tasks())
+        # effective work is well-defined on the expression
+        assert effective_work(expr, 0.9) > 0
+
+    def test_crossing_pattern_not_sp(self):
+        # N-graph: A->C, A->D, B->D — the classic non-SP obstruction
+        g = lin_graph("ABCD", [("A", "C"), ("A", "D"), ("B", "D")])
+        assert sp_decompose(g) is None
+
+    def test_expression_respects_precedence(self):
+        # every series step's leaves must precede the next step's leaves
+        g = build_fig1_graph()
+        expr = sp_decompose(g)
+        import networkx as nx
+
+        nxg = g.nx_graph()
+        for earlier, later in zip(expr.children, expr.children[1:]):
+            for a in earlier.leaves():
+                for b in later.leaves():
+                    assert not nx.has_path(nxg, b.name, a.name)

@@ -1,0 +1,93 @@
+"""Generative round-trip tests: SP expression -> graph -> decomposition.
+
+Random series-parallel expressions are realized as task graphs (series
+composition becomes a complete bipartite dependence between consecutive
+stages' sinks and sources) and fed back through
+:func:`repro.graph.sp.sp_decompose`. The recovered expression must cover
+the same leaves and — because effective work is invariant under
+series/parallel re-association — agree on the Prasanna-Musicus effective
+work for any exponent.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TaskGraph
+from repro.graph.sp import sp_decompose
+from repro.schedulers.prasanna import SPNode, effective_work, leaf, parallel, series
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+# -- random SP expressions -----------------------------------------------------------
+
+_counter = itertools.count()
+
+
+@st.composite
+def sp_expressions(draw, depth=3):
+    work = draw(st.floats(min_value=1.0, max_value=100.0))
+    if depth == 0 or draw(st.integers(0, 2)) == 0:
+        return leaf(f"t{next(_counter)}", work)
+    kind = draw(st.sampled_from(["series", "parallel"]))
+    children = [
+        draw(sp_expressions(depth=depth - 1))
+        for _ in range(draw(st.integers(2, 3)))
+    ]
+    return series(*children) if kind == "series" else parallel(*children)
+
+
+def realize(expr: SPNode) -> TaskGraph:
+    """Build the task graph of an SP expression (bipartite series joins)."""
+    graph = TaskGraph("sp")
+
+    def walk(node: SPNode):
+        """Returns (sources, sinks) of the realized subgraph."""
+        if node.kind == "leaf":
+            graph.add_task(
+                node.name, ExecutionProfile(LinearSpeedup(), node.work)
+            )
+            return [node.name], [node.name]
+        if node.kind == "parallel":
+            sources, sinks = [], []
+            for child in node.children:
+                s, t = walk(child)
+                sources += s
+                sinks += t
+            return sources, sinks
+        # series
+        first_sources, prev_sinks = walk(node.children[0])
+        for child in node.children[1:]:
+            s, t = walk(child)
+            for u in prev_sinks:
+                for v in s:
+                    graph.add_edge(u, v)
+            prev_sinks = t
+        return first_sources, prev_sinks
+
+    walk(expr)
+    return graph
+
+
+class TestGenerativeRoundTrip:
+    @given(expr=sp_expressions())
+    @settings(max_examples=150, deadline=None)
+    def test_decomposition_recovers_structure(self, expr):
+        graph = realize(expr)
+        recovered = sp_decompose(graph)
+        assert recovered is not None, "realized SP graph must decompose"
+        assert sorted(l.name for l in recovered.leaves()) == sorted(
+            l.name for l in expr.leaves()
+        )
+        for alpha in (1.0, 0.7, 0.3):
+            assert effective_work(recovered, alpha) == pytest.approx(
+                effective_work(expr, alpha), rel=1e-9
+            )
+
+    @given(expr=sp_expressions())
+    @settings(max_examples=50, deadline=None)
+    def test_realized_graph_is_valid(self, expr):
+        graph = realize(expr)
+        graph.validate()
+        assert graph.num_tasks == len(expr.leaves())

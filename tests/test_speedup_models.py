@@ -1,0 +1,111 @@
+"""Amdahl, linear, and table speedup models; the SpeedupModel contract."""
+
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.speedup import AmdahlSpeedup, LinearSpeedup, TableSpeedup
+
+
+class TestAmdahl:
+    def test_serial_task(self):
+        assert AmdahlSpeedup(1.0).speedup(64) == pytest.approx(1.0)
+
+    def test_fully_parallel(self):
+        assert AmdahlSpeedup(0.0).speedup(8) == pytest.approx(8.0)
+
+    def test_formula(self):
+        f, n = 0.25, 4
+        assert AmdahlSpeedup(f).speedup(n) == pytest.approx(1 / (f + (1 - f) / n))
+
+    def test_asymptote(self):
+        f = 0.1
+        assert AmdahlSpeedup(f).speedup(100000) == pytest.approx(1 / f, rel=1e-3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(1.5)
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(-0.1)
+
+    def test_monotone(self):
+        m = AmdahlSpeedup(0.05)
+        vals = [m.speedup(n) for n in range(1, 64)]
+        assert vals == sorted(vals)
+
+
+class TestLinear:
+    def test_uncapped(self):
+        assert LinearSpeedup().speedup(17) == 17.0
+
+    def test_capped(self):
+        m = LinearSpeedup(cap=4)
+        assert m.speedup(3) == 3.0
+        assert m.speedup(10) == 4.0
+
+    def test_execution_time(self):
+        assert LinearSpeedup().execution_time(40.0, 4) == pytest.approx(10.0)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            LinearSpeedup(cap=0)
+
+
+class TestTable:
+    def test_lookup_exact(self):
+        m = TableSpeedup({1: 10.0, 2: 6.0, 4: 4.0})
+        assert m.time_at(2) == 6.0
+
+    def test_step_rule_between_points(self):
+        m = TableSpeedup({1: 10.0, 4: 4.0})
+        assert m.time_at(3) == 10.0  # last measured at or below
+
+    def test_beyond_largest(self):
+        m = TableSpeedup({1: 10.0, 4: 4.0})
+        assert m.time_at(100) == 4.0
+
+    def test_speedup_derived(self):
+        m = TableSpeedup({1: 10.0, 2: 5.0})
+        assert m.speedup(2) == pytest.approx(2.0)
+
+    def test_requires_p1(self):
+        with pytest.raises(ProfileError):
+            TableSpeedup({2: 5.0})
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ProfileError):
+            TableSpeedup({})
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            TableSpeedup({1: 0.0})
+
+    def test_table_property_returns_sorted_copy(self):
+        m = TableSpeedup({4: 4.0, 1: 10.0})
+        table = m.table
+        assert list(table) == [1, 4]
+        table[8] = 1.0  # mutating the copy must not affect the model
+        assert 8 not in m.table
+
+
+class TestContract:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            AmdahlSpeedup(0.2),
+            LinearSpeedup(cap=8),
+            TableSpeedup({1: 10.0, 2: 6.0}),
+        ],
+    )
+    def test_speedup_one_is_one(self, model):
+        assert model.speedup(1) == pytest.approx(1.0)
+
+    def test_callable(self):
+        assert AmdahlSpeedup(0.0)(4) == pytest.approx(4.0)
+
+    def test_execution_time_validates_n(self):
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(0.1).execution_time(10.0, 0)
+
+    def test_execution_time_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(0.1).execution_time(-1.0, 2)

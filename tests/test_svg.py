@@ -1,0 +1,76 @@
+"""SVG Gantt rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import Cluster, get_scheduler
+from repro.schedule import save_svg, schedule_to_svg
+
+from tests.helpers import build_fig1_graph, build_random_graph
+
+
+def fig1_schedule():
+    from repro.schedulers import locbs_schedule
+
+    g = build_fig1_graph()
+    cl = Cluster(num_processors=4, bandwidth=1e6)
+    return g, locbs_schedule(
+        g, cl, {"T1": 4, "T2": 3, "T3": 2, "T4": 4}
+    ).schedule
+
+
+class TestSvg:
+    def test_well_formed_xml(self):
+        _, s = fig1_schedule()
+        doc = schedule_to_svg(s)
+        root = ET.fromstring(doc)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_processor_occupancy(self):
+        _, s = fig1_schedule()
+        root = ET.fromstring(schedule_to_svg(s))
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = root.findall(f".//{ns}rect")
+        # background + 4+3+2+4 occupancy rects (overlap mode: no comm rects)
+        assert len(rects) == 1 + 13
+
+    def test_title_and_task_names_present(self):
+        _, s = fig1_schedule()
+        doc = schedule_to_svg(s, title="Fig 1 example")
+        assert "Fig 1 example" in doc
+        assert "T3" in doc
+
+    def test_no_overlap_schedule_shows_comm_prefix(self):
+        g = build_random_graph(8, 2, ccr_volume=5e7)
+        cl = Cluster(num_processors=4, overlap=False)
+        s = get_scheduler("locmps").schedule(g, cl)
+        doc = schedule_to_svg(s)
+        has_comm = any(p.exec_start > p.start + 1e-9 for p in s)
+        assert ("fill-opacity" in doc) == has_comm
+
+    def test_save_svg(self, tmp_path):
+        _, s = fig1_schedule()
+        path = tmp_path / "fig1.svg"
+        save_svg(s, path)
+        assert path.read_text().startswith("<svg")
+
+    def test_empty_schedule_renders(self):
+        from repro.schedule import Schedule
+
+        s = Schedule(Cluster(num_processors=2))
+        root = ET.fromstring(schedule_to_svg(s))
+        assert root.tag.endswith("svg")
+
+    def test_names_escaped(self):
+        from repro import TaskGraph
+        from repro.schedulers import locbs_schedule
+        from repro.speedup import ExecutionProfile, LinearSpeedup
+
+        g = TaskGraph()
+        g.add_task("a<b>&c", ExecutionProfile(LinearSpeedup(), 5.0))
+        cl = Cluster(num_processors=1)
+        res = locbs_schedule(g, cl, {"a<b>&c": 1})
+        doc = schedule_to_svg(res.schedule)
+        ET.fromstring(doc)  # must stay well-formed
+        assert "a&lt;b&gt;&amp;c" in doc

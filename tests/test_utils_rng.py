@@ -1,0 +1,34 @@
+"""RNG normalization helpers."""
+
+import numpy as np
+
+from repro.utils.rng import as_generator, spawn_child
+
+
+def test_as_generator_from_int_is_deterministic():
+    a = as_generator(42).integers(0, 1000, size=5)
+    b = as_generator(42).integers(0, 1000, size=5)
+    assert (a == b).all()
+
+
+def test_as_generator_passthrough():
+    rng = np.random.default_rng(0)
+    assert as_generator(rng) is rng
+
+
+def test_as_generator_none_gives_generator():
+    assert isinstance(as_generator(None), np.random.Generator)
+
+
+def test_spawn_child_deterministic_in_order():
+    parent1 = as_generator(7)
+    kids1 = [spawn_child(parent1, i).integers(0, 10**6) for i in range(3)]
+    parent2 = as_generator(7)
+    kids2 = [spawn_child(parent2, i).integers(0, 10**6) for i in range(3)]
+    assert kids1 == kids2
+
+
+def test_spawn_child_streams_differ_by_index():
+    parent = as_generator(7)
+    entropy_draws = [spawn_child(parent, i).integers(0, 10**9) for i in range(4)]
+    assert len(set(entropy_draws)) > 1

@@ -1,0 +1,97 @@
+"""Argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(math.inf, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, "n") == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "n")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0.*1\]"):
+            check_in_range(1.5, "x", 0, 1)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        assert check_type("s", "x", str) == "s"
+
+    def test_multiple_types(self):
+        assert check_type(3, "x", str, int) == 3
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="x must be str"):
+            check_type(3, "x", str)
+
+
+class TestCheckFinite:
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_finite("3", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_finite(True, "x")

@@ -1,0 +1,47 @@
+"""DOT export and terminal summaries."""
+
+from repro import TaskGraph
+from repro.graph.visualize import ascii_summary, to_dot
+from repro.speedup import ExecutionProfile, LinearSpeedup
+
+
+def make_graph(n=3):
+    g = TaskGraph("viz")
+    for i in range(n):
+        g.add_task(f"T{i}", ExecutionProfile(LinearSpeedup(), 10.0 + i))
+    for i in range(n - 1):
+        g.add_edge(f"T{i}", f"T{i + 1}", 2e6)
+    return g
+
+
+class TestDot:
+    def test_contains_all_vertices_and_edges(self):
+        dot = to_dot(make_graph())
+        assert dot.startswith('digraph "viz"')
+        for t in ("T0", "T1", "T2"):
+            assert f'"{t}"' in dot
+        assert '"T0" -> "T1"' in dot
+
+    def test_volume_labels(self):
+        dot = to_dot(make_graph())
+        assert "2.00 MB" in dot
+
+    def test_no_volumes_flag(self):
+        dot = to_dot(make_graph(), include_volumes=False)
+        assert "MB" not in dot
+
+
+class TestAsciiSummary:
+    def test_lists_tasks(self):
+        text = ascii_summary(make_graph())
+        assert "3 tasks" in text
+        assert "T2" in text
+        assert "preds: T1" in text
+
+    def test_truncation(self):
+        text = ascii_summary(make_graph(10), max_rows=4)
+        assert "6 more tasks" in text
+
+    def test_no_truncation_when_unlimited(self):
+        text = ascii_summary(make_graph(10), max_rows=None)
+        assert "more tasks" not in text

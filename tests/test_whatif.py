@@ -1,0 +1,65 @@
+"""Counterfactual schedule analysis."""
+
+import pytest
+
+from repro import Cluster, get_scheduler
+from repro.analysis import bandwidth_whatif, width_whatif
+from repro.exceptions import ValidationError
+
+from tests.helpers import build_random_graph
+
+
+def make(seed=1, P=4, ccr_volume=3e7):
+    g = build_random_graph(8, seed, ccr_volume=ccr_volume)
+    cl = Cluster(num_processors=P)
+    s = get_scheduler("locmps").schedule(g, cl)
+    return g, cl, s
+
+
+class TestBandwidthWhatif:
+    def test_slower_network_never_helps(self):
+        g, _, s = make()
+        curve = bandwidth_whatif(g, s, [100e6, 10e6, 1e6])
+        assert curve[1e6] >= curve[10e6] - 1e-9
+        assert curve[10e6] >= curve[100e6] - 1e-9
+
+    def test_same_bandwidth_close_to_plan(self):
+        g, cl, s = make()
+        curve = bandwidth_whatif(g, s, [cl.bandwidth])
+        # re-timing the same plan under the same network only compacts
+        assert curve[cl.bandwidth] <= s.makespan + 1e-6
+
+    def test_empty_bandwidths_rejected(self):
+        g, _, s = make()
+        with pytest.raises(ValidationError):
+            bandwidth_whatif(g, s, [])
+
+    def test_zero_comm_plan_is_flat(self):
+        g, _, s = make(ccr_volume=0.0)
+        curve = bandwidth_whatif(g, s, [100e6, 1e3])
+        assert curve[1e3] == pytest.approx(curve[100e6])
+
+
+class TestWidthWhatif:
+    def test_sweep_contains_base_width(self):
+        g, cl, s = make()
+        task = g.tasks()[0]
+        curve = width_whatif(g, cl, s, task)
+        assert set(curve) == set(range(1, cl.num_processors + 1))
+        assert all(m > 0 for m in curve.values())
+
+    def test_restricted_widths(self):
+        g, cl, s = make()
+        task = g.tasks()[0]
+        curve = width_whatif(g, cl, s, task, widths=[1, 2])
+        assert set(curve) == {1, 2}
+
+    def test_unknown_task_rejected(self):
+        g, cl, s = make()
+        with pytest.raises(ValidationError):
+            width_whatif(g, cl, s, "ghost")
+
+    def test_bad_width_rejected(self):
+        g, cl, s = make()
+        with pytest.raises(ValidationError):
+            width_whatif(g, cl, s, g.tasks()[0], widths=[0])

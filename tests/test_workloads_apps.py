@@ -1,0 +1,154 @@
+"""Application DAGs: CCSD T1 and Strassen."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import ccsd_t1_graph, strassen_graph
+
+
+class TestCcsdT1:
+    def test_structure(self):
+        g = ccsd_t1_graph()
+        g.validate()
+        assert g.num_tasks >= 20
+        assert nx.is_directed_acyclic_graph(g.nx_graph())
+        assert g.sinks() == ["R1"]
+
+    def test_cost_skew_few_large_many_small(self):
+        # The paper: "a few large tasks and many small tasks".
+        g = ccsd_t1_graph()
+        times = sorted(g.sequential_time(t) for t in g.tasks())
+        assert times[-1] / times[0] > 50
+        large = [t for t in times if t > 0.2 * times[-1]]
+        assert len(large) <= len(times) // 3
+
+    def test_large_tasks_scale_better(self):
+        g = ccsd_t1_graph()
+        big = g.task("C_Wvovv_t2").profile
+        small = g.task("A1").profile
+        assert big.model.serial_fraction < small.model.serial_fraction
+
+    def test_accumulation_chain_is_path(self):
+        g = ccsd_t1_graph()
+        chain = ["A1", "A2", "A3", "A4", "A5", "A6", "A7", "R1"]
+        for a, b in zip(chain, chain[1:]):
+            assert b in g.successors(a)
+
+    def test_tau_edges_are_heavy(self):
+        g = ccsd_t1_graph(o=40, v=160)
+        tau_edge = g.data_volume("TAU", "C_Wvovv_t2")
+        chain_edge = g.data_volume("A1", "A2")
+        assert tau_edge > 100 * chain_edge
+
+    def test_scales_with_orbital_spaces(self):
+        small = ccsd_t1_graph(o=8, v=16)
+        big = ccsd_t1_graph(o=16, v=64)
+        assert big.total_sequential_work() > small.total_sequential_work()
+
+    def test_flop_rate_scales_times(self):
+        slow = ccsd_t1_graph(flop_rate=1e8)
+        fast = ccsd_t1_graph(flop_rate=1e10)
+        assert slow.sequential_time("C_Wvovv_t2") > fast.sequential_time(
+            "C_Wvovv_t2"
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            ccsd_t1_graph(o=1)
+        with pytest.raises(WorkloadError):
+            ccsd_t1_graph(flop_rate=0)
+
+
+class TestStrassen:
+    def test_structure_21_tasks(self):
+        g = strassen_graph(1024)
+        g.validate()
+        assert g.num_tasks == 21  # 10 S + 7 M + 4 C
+        assert len(g.sinks()) == 4  # the four output quadrants
+
+    def test_m1_depends_on_two_sums(self):
+        g = strassen_graph(1024)
+        assert set(g.predecessors("M1")) == {"S1", "S2"}
+
+    def test_c11_combines_four_products(self):
+        g = strassen_graph(1024)
+        assert set(g.predecessors("C11")) == {"M1", "M4", "M5", "M7"}
+
+    def test_multiplications_dominate(self):
+        g = strassen_graph(1024)
+        mul = g.sequential_time("M1")
+        add = g.sequential_time("S1")
+        # additions sit on the launch-overhead floor; multiplications carry
+        # the 2(n/2)^3 FLOPs and dominate by an order of magnitude
+        assert mul > 10 * add
+
+    def test_edge_volumes_are_half_matrices(self):
+        g = strassen_graph(1024, element_bytes=8)
+        assert g.data_volume("S1", "M1") == 512 * 512 * 8
+
+    def test_scalability_improves_with_size(self):
+        small = strassen_graph(1024)
+        large = strassen_graph(4096)
+        f_small = small.task("S1").profile.model.serial_fraction
+        f_large = large.task("S1").profile.model.serial_fraction
+        assert f_large < f_small
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            strassen_graph(3)
+        with pytest.raises(WorkloadError):
+            strassen_graph(101)  # odd
+        with pytest.raises(WorkloadError):
+            strassen_graph(1024, flop_rate=0)
+
+
+class TestCcsdFull:
+    def test_structure(self):
+        from repro.workloads import ccsd_full_graph
+
+        g = ccsd_full_graph(o=8, v=24)
+        g.validate()
+        assert g.num_tasks > 35
+        assert set(g.sinks()) == {"R1", "R2"}
+
+    def test_shares_intermediates_with_t1(self):
+        from repro.workloads import ccsd_full_graph
+
+        g = ccsd_full_graph(o=8, v=24)
+        # TAU feeds both residuals' contractions
+        consumers = set(g.successors("TAU"))
+        assert {"C_Wvovv_t2", "T2_ladder_vv", "T2_ladder_oo"} <= consumers
+
+    def test_t2_edges_are_t2_sized(self):
+        from repro.workloads import ccsd_full_graph
+
+        o, v = 8, 24
+        g = ccsd_full_graph(o=o, v=v)
+        assert g.data_volume("T2_ladder_vv", "B1") == o * o * v * v * 8
+
+    def test_t2_dominates_work(self):
+        from repro.workloads import ccsd_full_graph
+
+        # sizes large enough that contraction flops dwarf the startup floor
+        g = ccsd_full_graph(o=16, v=64)
+        t2_work = sum(
+            g.sequential_time(t)
+            for t in g.tasks()
+            if t.startswith(("T2_", "I_quad", "B", "R2"))
+        )
+        assert t2_work > 0.6 * g.total_sequential_work()
+
+    def test_schedulable_and_locmps_competitive(self):
+        from repro import Cluster, get_scheduler, validate_schedule
+        from repro.cluster import MYRINET_2GBPS
+        from repro.workloads import ccsd_full_graph
+
+        g = ccsd_full_graph(o=6, v=18)
+        cl = Cluster(num_processors=4, bandwidth=MYRINET_2GBPS)
+        makespans = {}
+        for name in ("locmps", "cpa", "data"):
+            s = get_scheduler(name).schedule(g, cl)
+            assert validate_schedule(s, g) == []
+            makespans[name] = s.makespan
+        assert makespans["locmps"] <= min(makespans.values()) + 1e-6

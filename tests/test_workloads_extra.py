@@ -1,0 +1,109 @@
+"""FFT and LU workload generators (extension workloads)."""
+
+import networkx as nx
+import pytest
+
+from repro import Cluster, get_scheduler, validate_schedule
+from repro.cluster import MYRINET_2GBPS
+from repro.exceptions import WorkloadError
+from repro.workloads import fft_graph, lu_graph
+
+
+class TestFft:
+    def test_structure(self):
+        g = fft_graph(1 << 16, levels=2)
+        g.validate()
+        # splits: 1 + 2; leaves: 4; combines: 2 + 1
+        assert g.num_tasks == 10
+        assert g.sources() == ["split0_0"]
+        assert g.sinks() == ["combine0_0"]
+
+    def test_series_parallel_shape(self):
+        g = fft_graph(1 << 16, levels=3)
+        assert nx.is_directed_acyclic_graph(g.nx_graph())
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_leaf_count(self):
+        g = fft_graph(1 << 16, levels=3)
+        leaves = [t for t in g.tasks() if t.startswith("leaf")]
+        assert len(leaves) == 8
+
+    def test_leaves_scale_better_than_combines(self):
+        g = fft_graph(1 << 18, levels=2)
+        f_leaf = g.task("leaf0").profile.model.serial_fraction
+        f_combine = g.task("combine0_0").profile.model.serial_fraction
+        assert f_leaf < f_combine
+
+    def test_volumes_halve_per_level(self):
+        g = fft_graph(1 << 16, levels=2)
+        top = g.data_volume("combine1_0", "combine0_0")
+        bottom = g.data_volume("leaf0", "combine1_0")
+        assert top == pytest.approx(2 * bottom)
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            fft_graph(1000)  # not a power of two
+        with pytest.raises(WorkloadError):
+            fft_graph(8, levels=4)  # 2^levels > n
+        with pytest.raises(WorkloadError):
+            fft_graph(1 << 10, levels=0)
+
+    def test_schedulable(self):
+        g = fft_graph(1 << 18, levels=2)
+        cl = Cluster(num_processors=4, bandwidth=MYRINET_2GBPS)
+        for name in ("locmps", "pm", "data"):
+            s = get_scheduler(name).schedule(g, cl)
+            assert validate_schedule(s, g) == []
+
+
+class TestLu:
+    def test_task_count(self):
+        # blocks=3: per k: 1 diag + 2*(B-1-k) solves + (B-1-k)^2 updates
+        g = lu_graph(300, blocks=3)
+        g.validate()
+        expected = sum(
+            1 + 2 * (3 - 1 - k) + (3 - 1 - k) ** 2 for k in range(3)
+        )
+        assert g.num_tasks == expected
+
+    def test_dependences(self):
+        g = lu_graph(400, blocks=4)
+        assert set(g.predecessors("col0_1")) == {"diag0"}
+        assert set(g.predecessors("upd0_1_2")) == {"col0_1", "row0_2"}
+        assert "upd0_1_1" in g.predecessors("diag1")
+
+    def test_critical_chain_runs_through_diagonals(self):
+        g = lu_graph(400, blocks=4)
+        assert nx.has_path(g.nx_graph(), "diag0", "diag3")
+
+    def test_updates_dominate_work(self):
+        g = lu_graph(2048, blocks=4)
+        upd = sum(
+            g.sequential_time(t) for t in g.tasks() if t.startswith("upd")
+        )
+        assert upd > 0.5 * g.total_sequential_work()
+
+    def test_updates_scale_best(self):
+        g = lu_graph(2048, blocks=4)
+        assert (
+            g.task("upd0_1_1").profile.model.serial_fraction
+            < g.task("diag0").profile.model.serial_fraction
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            lu_graph(100, blocks=1)
+        with pytest.raises(WorkloadError):
+            lu_graph(2, blocks=4)
+
+    def test_schedulable_and_mixed_wins(self):
+        g = lu_graph(2048, blocks=3)
+        cl = Cluster(num_processors=8, bandwidth=MYRINET_2GBPS)
+        makespans = {}
+        for name in ("locmps", "task", "data"):
+            s = get_scheduler(name).schedule(g, cl)
+            assert validate_schedule(s, g) == []
+            makespans[name] = s.makespan
+        assert makespans["locmps"] <= makespans["task"] + 1e-6
+        assert makespans["locmps"] <= makespans["data"] + 1e-6

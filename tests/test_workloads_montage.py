@@ -1,0 +1,55 @@
+"""Montage-style workflow generator."""
+
+import networkx as nx
+import pytest
+
+from repro import Cluster, get_scheduler, validate_schedule
+from repro.cluster import GIGABIT_ETHERNET
+from repro.exceptions import WorkloadError
+from repro.workloads import montage_graph
+
+
+class TestMontage:
+    def test_structure(self):
+        g = montage_graph(6)
+        g.validate()
+        # 6 projections + 5 fits + model + 6 corrections + mosaic
+        assert g.num_tasks == 6 + 5 + 1 + 6 + 1
+        assert g.sinks() == ["mosaic"]
+        assert len(g.sources()) == 6
+
+    def test_fan_out_fan_in(self):
+        g = montage_graph(5)
+        assert set(g.predecessors("fit0")) == {"project0", "project1"}
+        assert len(g.predecessors("bgmodel")) == 4
+        assert set(g.predecessors("correct2")) == {"bgmodel", "project2"}
+        assert len(g.predecessors("mosaic")) == 5
+
+    def test_all_paths_through_bgmodel(self):
+        g = montage_graph(4)
+        nxg = g.nx_graph()
+        assert nx.has_path(nxg, "project0", "bgmodel")
+        assert nx.has_path(nxg, "bgmodel", "mosaic")
+
+    def test_scalability_skew(self):
+        g = montage_graph(4)
+        assert (
+            g.task("project0").profile.model.serial_fraction
+            < g.task("bgmodel").profile.model.serial_fraction
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            montage_graph(1)
+        with pytest.raises(WorkloadError):
+            montage_graph(4, flop_rate=0)
+
+    def test_schedulable_and_mixed_wins(self):
+        g = montage_graph(6)
+        cl = Cluster(num_processors=8, bandwidth=GIGABIT_ETHERNET)
+        makespans = {}
+        for name in ("locmps", "task", "data"):
+            s = get_scheduler(name).schedule(g, cl)
+            assert validate_schedule(s, g) == []
+            makespans[name] = s.makespan
+        assert makespans["locmps"] <= min(makespans.values()) + 1e-6

@@ -1,0 +1,138 @@
+"""Synthetic workload generator and suites."""
+
+import networkx as nx
+import pytest
+
+from repro.cluster import FAST_ETHERNET_100MBPS
+from repro.exceptions import WorkloadError
+from repro.speedup import DowneySpeedup
+from repro.workloads import (
+    measured_ccr,
+    paper_suite,
+    scale_to_ccr,
+    synthetic_dag,
+    synthetic_suite,
+)
+
+
+class TestGenerator:
+    def test_task_count(self):
+        g = synthetic_dag(25, seed=0)
+        assert g.num_tasks == 25
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_dag(20, ccr=0.5, seed=9)
+        b = synthetic_dag(20, ccr=0.5, seed=9)
+        assert a.tasks() == b.tasks()
+        assert a.edges() == b.edges()
+        assert all(
+            a.data_volume(u, v) == b.data_volume(u, v) for u, v in a.edges()
+        )
+
+    def test_seeds_differ(self):
+        a = synthetic_dag(20, seed=1)
+        b = synthetic_dag(20, seed=2)
+        assert a.edges() != b.edges() or [
+            a.sequential_time(t) for t in a.tasks()
+        ] != [b.sequential_time(t) for t in b.tasks()]
+
+    def test_acyclic_and_connected_enough(self):
+        g = synthetic_dag(40, seed=3)
+        g.validate()
+        assert nx.is_directed_acyclic_graph(g.nx_graph())
+        # every non-root has at least one predecessor by construction
+        roots = g.sources()
+        assert len(roots) >= 1
+        for t in g.tasks():
+            if t not in roots:
+                assert g.predecessors(t)
+
+    def test_mean_compute_time(self):
+        g = synthetic_dag(400, seed=4, mean_compute=30.0)
+        mean = g.total_sequential_work() / g.num_tasks
+        assert 25.0 < mean < 35.0
+
+    def test_ccr_zero_means_no_volume(self):
+        g = synthetic_dag(20, ccr=0.0, seed=5)
+        assert all(g.data_volume(u, v) == 0.0 for u, v in g.edges())
+
+    def test_ccr_realized(self):
+        g = synthetic_dag(300, ccr=1.0, seed=6)
+        realized = measured_ccr(g, FAST_ETHERNET_100MBPS)
+        assert 0.7 < realized < 1.3
+
+    def test_downey_parameters_attached(self):
+        g = synthetic_dag(10, amax=48, sigma=2.0, seed=7)
+        for t in g.tasks():
+            task = g.task(t)
+            assert isinstance(task.profile.model, DowneySpeedup)
+            assert 1.0 <= task.attrs["downey_A"] <= 48.0
+            assert task.profile.model.sigma == 2.0
+
+    def test_mean_degree(self):
+        g = synthetic_dag(300, mean_degree=4.0, seed=8)
+        total_degree = 2 * g.num_edges / g.num_tasks
+        assert 2.0 < total_degree < 6.0
+
+    def test_single_task(self):
+        g = synthetic_dag(1, seed=0)
+        assert g.num_tasks == 1
+        assert g.num_edges == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            synthetic_dag(0)
+        with pytest.raises(WorkloadError):
+            synthetic_dag(5, ccr=-1)
+        with pytest.raises(WorkloadError):
+            synthetic_dag(5, amax=0.5)
+        with pytest.raises(WorkloadError):
+            synthetic_dag(5, sigma=-0.1)
+
+
+class TestSuites:
+    def test_paper_suite_shape(self):
+        suite = paper_suite(ccr=0, amax=64, sigma=1, count=30)
+        assert len(suite) == 30
+        sizes = [g.num_tasks for g in suite]
+        assert min(sizes) == 10
+        assert max(sizes) == 50
+
+    def test_suite_deterministic(self):
+        a = paper_suite(ccr=0.1, amax=64, sigma=1, count=5)
+        b = paper_suite(ccr=0.1, amax=64, sigma=1, count=5)
+        assert [g.edges() for g in a] == [g.edges() for g in b]
+
+    def test_suite_names_unique(self):
+        suite = synthetic_suite(6, seed=0)
+        names = [g.name for g in suite]
+        assert len(set(names)) == 6
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            synthetic_suite(0)
+
+    def test_invalid_range(self):
+        with pytest.raises(WorkloadError):
+            synthetic_suite(3, min_tasks=10, max_tasks=5)
+
+
+class TestCcrHelpers:
+    def test_measured_ccr_no_edges(self):
+        g = synthetic_dag(1, seed=0)
+        assert measured_ccr(g, 1e6) == 0.0
+
+    def test_scale_to_ccr(self):
+        g = synthetic_dag(50, ccr=0.5, seed=1)
+        scaled = scale_to_ccr(g, 2.0, FAST_ETHERNET_100MBPS)
+        assert measured_ccr(scaled, FAST_ETHERNET_100MBPS) == pytest.approx(2.0)
+
+    def test_scale_to_zero(self):
+        g = synthetic_dag(20, ccr=0.5, seed=1)
+        scaled = scale_to_ccr(g, 0.0, FAST_ETHERNET_100MBPS)
+        assert measured_ccr(scaled, FAST_ETHERNET_100MBPS) == 0.0
+
+    def test_scale_zero_graph_to_positive_rejected(self):
+        g = synthetic_dag(20, ccr=0.0, seed=1)
+        with pytest.raises(WorkloadError):
+            scale_to_ccr(g, 1.0, FAST_ETHERNET_100MBPS)
