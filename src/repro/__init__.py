@@ -80,6 +80,7 @@ from repro.schedulers import (
     get_scheduler,
     locbs_schedule,
 )
+from repro.obs import NULL_TRACER, NullTracer, Tracer
 from repro.speedup import (
     AmdahlSpeedup,
     DowneySpeedup,
@@ -156,6 +157,10 @@ __all__ = [
     "DataParallelScheduler",
     "SCHEDULERS",
     "get_scheduler",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
     # workloads (lazy)
     "synthetic_dag",
 ]

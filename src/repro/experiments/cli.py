@@ -71,6 +71,14 @@ def _parser() -> argparse.ArgumentParser:
         help="fan (graph, P) cells out over this many worker processes "
         "(not used by fig11)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record scheduler/simulation trace events to PATH as JSONL "
+        "(forces --workers 1; summarize with 'python -m repro.obs report', "
+        "convert for chrome://tracing with 'python -m repro.obs chrome')",
+    )
     return parser
 
 
@@ -84,17 +92,35 @@ def run_figure_cli(
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = _parser().parse_args(argv)
     names: List[str] = sorted(FIGURES) if args.figure == "all" else [args.figure]
+
+    tracer = None
+    workers = args.workers
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        if workers > 1:
+            print("--trace forces --workers 1", file=sys.stderr)
+            workers = 1
+
     for name in names:
         kwargs = dict(
             quick=not args.full,
             proc_counts=args.procs,
             progress=args.progress,
+            tracer=tracer,
         )
         if name != "fig11":  # fig11 replays schedules; no cell fan-out
-            kwargs["workers"] = args.workers
+            kwargs["workers"] = workers
         result = FIGURES[name](**kwargs)
         print(result.text())
         print()
+
+    if tracer is not None:
+        from repro.obs import write_jsonl
+
+        n = write_jsonl(tracer, args.trace)
+        print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cluster import Cluster
 from repro.exceptions import ExperimentError
 from repro.graph import TaskGraph
+from repro.obs.tracer import Tracer
 from repro.schedule import validate_schedule
 from repro.schedulers import get_scheduler
 from repro.utils.mathx import geo_mean
@@ -123,6 +124,7 @@ def run_comparison(
     progress: bool = False,
     scheduler_factory: Optional[Callable[[str], object]] = None,
     workers: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> ComparisonResult:
     """Sweep every scheme over every graph and processor count.
 
@@ -131,6 +133,12 @@ def run_comparison(
     ``workers > 1`` fans the (graph, P) cells out over a process pool —
     per-cell scheduling times remain accurate because each cell is timed
     inside its worker. ``scheduler_factory`` is only supported serially.
+
+    *tracer* (optional) is attached to every scheduler instance (so
+    instrumented schedulers record their decision events) and receives one
+    ``experiment_cell`` event per (graph, P, scheme) run. Tracing is
+    serial-only: events from worker processes cannot reach the caller's
+    tracer, so ``workers > 1`` with a tracer is rejected.
     """
     if not graphs:
         raise ExperimentError("run_comparison needs at least one graph")
@@ -142,6 +150,11 @@ def run_comparison(
         raise ExperimentError(
             "custom scheduler_factory is not picklable across workers; "
             "use workers=1"
+        )
+    if workers > 1 and tracer is not None:
+        raise ExperimentError(
+            "tracing requires workers=1 (worker-process events cannot reach "
+            "the caller's tracer)"
         )
     factory = scheduler_factory or get_scheduler
 
@@ -177,18 +190,30 @@ def run_comparison(
                 record(gi, pi, rows)
     else:
         for gi, pi, args in cells:
-            if scheduler_factory is None:
+            if scheduler_factory is None and tracer is None:
                 record(gi, pi, _run_cell(args))
             else:
                 graph, P, bw, ov, scheme_t, val = args
                 cluster = Cluster(num_processors=P, bandwidth=bw, overlap=ov)
                 rows = []
                 for scheme in scheme_t:
+                    sched = factory(scheme)
+                    if tracer is not None:
+                        sched.tracer = tracer
                     t0 = time.perf_counter()
-                    schedule = factory(scheme).schedule(graph, cluster)
+                    schedule = sched.schedule(graph, cluster)
                     elapsed = time.perf_counter() - t0
                     if val:
                         validate_schedule(schedule, graph)
+                    if tracer is not None:
+                        tracer.event(
+                            "experiment_cell",
+                            graph=graph.name,
+                            P=P,
+                            scheme=scheme,
+                            makespan=schedule.makespan,
+                            elapsed_s=elapsed,
+                        )
                     rows.append((scheme, schedule.makespan, elapsed))
                 record(gi, pi, rows)
 

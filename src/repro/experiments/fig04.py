@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from repro.cluster import FAST_ETHERNET_100MBPS
 from repro.experiments.common import run_comparison
 from repro.experiments.figures import FigureResult
+from repro.obs.tracer import Tracer
 from repro.schedulers.registry import PAPER_SCHEMES
 from repro.workloads import paper_suite
 
@@ -39,6 +40,7 @@ def run(
     seed: int = 2006,
     progress: bool = False,
     workers: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Regenerate Fig 4(a) or 4(b)."""
     if panel not in ("a", "b"):
@@ -56,6 +58,7 @@ def run(
         bandwidth=FAST_ETHERNET_100MBPS,
         progress=progress,
         workers=workers,
+        tracer=tracer,
     )
     return FigureResult(
         figure=f"Fig 4({panel})",

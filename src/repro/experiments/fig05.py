@@ -18,6 +18,7 @@ from repro.cluster import FAST_ETHERNET_100MBPS
 from repro.experiments.common import run_comparison
 from repro.experiments.fig04 import FULL_PROCS, QUICK_PROCS
 from repro.experiments.figures import FigureResult
+from repro.obs.tracer import Tracer
 from repro.schedulers.registry import PAPER_SCHEMES
 from repro.workloads import paper_suite
 
@@ -36,6 +37,7 @@ def run(
     seed: int = 2006,
     progress: bool = False,
     workers: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Regenerate Fig 5(a) (CCR=0.1) or 5(b) (CCR=1)."""
     if panel not in ("a", "b"):
@@ -53,6 +55,7 @@ def run(
         bandwidth=FAST_ETHERNET_100MBPS,
         progress=progress,
         workers=workers,
+        tracer=tracer,
     )
     return FigureResult(
         figure=f"Fig 5({panel})",

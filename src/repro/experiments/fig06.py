@@ -14,6 +14,7 @@ from repro.cluster import FAST_ETHERNET_100MBPS
 from repro.experiments.common import run_comparison
 from repro.experiments.fig04 import FULL_PROCS, QUICK_PROCS
 from repro.experiments.figures import FigureResult
+from repro.obs.tracer import Tracer
 from repro.workloads import paper_suite
 
 __all__ = ["run", "main"]
@@ -31,6 +32,7 @@ def run(
     seed: int = 2006,
     progress: bool = False,
     workers: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Regenerate Fig 6 (both panels: performance and scheduling time)."""
     procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
@@ -45,6 +47,7 @@ def run(
         bandwidth=FAST_ETHERNET_100MBPS,
         progress=progress,
         workers=workers,
+        tracer=tracer,
     )
     return FigureResult(
         figure="Fig 6",

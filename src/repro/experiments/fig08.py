@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 from repro.cluster import MYRINET_2GBPS
 from repro.experiments.common import run_comparison
 from repro.experiments.figures import FigureResult
+from repro.obs.tracer import Tracer
 from repro.schedulers.registry import PAPER_SCHEMES
 from repro.workloads import ccsd_t1_graph
 
@@ -37,6 +38,7 @@ def run(
     v: int = 160,
     progress: bool = False,
     workers: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Regenerate Fig 8(a) (overlap) or 8(b) (no overlap)."""
     if panel not in ("a", "b"):
@@ -52,6 +54,7 @@ def run(
         overlap=overlap,
         progress=progress,
         workers=workers,
+        tracer=tracer,
     )
     return FigureResult(
         figure=f"Fig 8({panel})",

@@ -14,6 +14,7 @@ from repro.cluster import MYRINET_2GBPS
 from repro.experiments.common import run_comparison
 from repro.experiments.fig08 import FULL_PROCS, QUICK_PROCS
 from repro.experiments.figures import FigureResult
+from repro.obs.tracer import Tracer
 from repro.schedulers.registry import PAPER_SCHEMES
 from repro.workloads import strassen_graph
 
@@ -28,6 +29,7 @@ def run(
     schemes: Optional[Sequence[str]] = None,
     progress: bool = False,
     workers: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Regenerate Fig 9(a) (1024^2) or 9(b) (4096^2)."""
     if panel not in ("a", "b"):
@@ -42,6 +44,7 @@ def run(
         bandwidth=MYRINET_2GBPS,
         progress=progress,
         workers=workers,
+        tracer=tracer,
     )
     return FigureResult(
         figure=f"Fig 9({panel})",

@@ -15,6 +15,7 @@ from repro.cluster import MYRINET_2GBPS
 from repro.experiments.common import run_comparison
 from repro.experiments.fig08 import FULL_PROCS, QUICK_PROCS
 from repro.experiments.figures import FigureResult
+from repro.obs.tracer import Tracer
 from repro.schedulers.registry import PAPER_SCHEMES
 from repro.workloads import ccsd_t1_graph, strassen_graph
 
@@ -29,6 +30,7 @@ def run(
     schemes: Optional[Sequence[str]] = None,
     progress: bool = False,
     workers: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Regenerate Fig 10(a) (CCSD T1 times) or 10(b) (Strassen times)."""
     if panel not in ("a", "b"):
@@ -42,6 +44,7 @@ def run(
         bandwidth=MYRINET_2GBPS,
         progress=progress,
         workers=workers,
+        tracer=tracer,
     )
     makespans = {s: result.mean_makespan(s) for s in result.schemes}
     return FigureResult(

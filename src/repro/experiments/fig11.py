@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cluster import Cluster, MYRINET_2GBPS
 from repro.experiments.figures import FigureResult
+from repro.obs.tracer import Tracer
 from repro.schedulers import get_scheduler
 from repro.sim import ExecutionEngine, LognormalNoise
 from repro.utils.mathx import geo_mean
@@ -39,6 +40,7 @@ def run(
     o: int = 40,
     v: int = 160,
     progress: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> FigureResult:
     """Regenerate Fig 11: noisy replay of every scheme's CCSD-T1 schedule."""
     procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
@@ -50,7 +52,10 @@ def run(
     for P in procs:
         cluster = Cluster(num_processors=P, bandwidth=MYRINET_2GBPS)
         for scheme in scheme_list:
-            schedule = get_scheduler(scheme).schedule(graph, cluster)
+            sched = get_scheduler(scheme)
+            if tracer is not None:
+                sched.tracer = tracer
+            schedule = sched.schedule(graph, cluster)
             runs = []
             for trial in range(trials):
                 engine = ExecutionEngine(
@@ -59,6 +64,7 @@ def run(
                     noise=noise,
                     seed=seed + 1000 * trial,
                     use_single_port=True,
+                    tracer=tracer,
                 )
                 report = engine.execute(schedule, record_events=False)
                 runs.append(report.makespan)

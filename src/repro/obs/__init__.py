@@ -1,0 +1,54 @@
+"""Observability: structured tracing, counters, and trace exporters.
+
+The subsystem has three layers:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — typed event recording with a
+  zero-overhead disabled default; instrumented code (LoC-MPS, LoCBS, the
+  replay engine, the experiment harness) takes an optional ``tracer=``
+  parameter.
+* :class:`Counters` / :class:`Timers` — monotonic counters, gauges, and
+  histogram-style timers with a plain-JSON ``summary()``.
+* exporters — JSONL event logs (:func:`write_jsonl` / :func:`read_jsonl`)
+  and Chrome trace-event JSON (:func:`write_chrome_trace`) loadable in
+  ``chrome://tracing`` or Perfetto; ``python -m repro.obs report`` prints
+  a summary (events by type, time by phase, locality/memo hit rates,
+  backfill fill ratio).
+
+Quick start::
+
+    from repro import Cluster, LocMpsScheduler, synthetic_dag
+    from repro.obs import Tracer, write_chrome_trace, write_jsonl
+
+    tracer = Tracer()
+    graph = synthetic_dag(num_tasks=50, ccr=1.0, seed=7)
+    LocMpsScheduler(tracer=tracer).schedule(graph, Cluster(num_processors=16))
+    write_jsonl(tracer, "trace.jsonl")
+    write_chrome_trace(tracer, "trace.chrome.json")
+    print(tracer.summary()["events_by_type"])
+"""
+
+from repro.obs.counters import Counters, TimerStat, Timers
+from repro.obs.events import EVENT_TYPES, SIM_EVENT_TYPES, TraceEvent
+from repro.obs.export import (
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counters",
+    "EVENT_TYPES",
+    "NULL_TRACER",
+    "NullTracer",
+    "SIM_EVENT_TYPES",
+    "TimerStat",
+    "Timers",
+    "TraceEvent",
+    "Tracer",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.obs`` — trace report / conversion CLI."""
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

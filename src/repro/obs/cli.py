@@ -1,0 +1,128 @@
+"""Trace-analysis command line: summarize or convert JSONL event logs.
+
+Examples::
+
+    python -m repro.obs report trace.jsonl
+    python -m repro.obs chrome trace.jsonl trace.chrome.json
+
+(``python -m repro.obs.cli`` works identically.) JSONL logs are produced
+by the experiment harness's ``--trace PATH`` flag or by passing a
+:class:`~repro.obs.Tracer` to any instrumented scheduler and calling
+:func:`~repro.obs.write_jsonl`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import events as ev_types
+from repro.obs.events import TraceEvent
+from repro.obs.export import read_jsonl, write_chrome_trace
+
+__all__ = ["main", "report_text"]
+
+
+def _rate(hits: int, misses: int) -> Optional[float]:
+    total = hits + misses
+    return hits / total if total else None
+
+
+def report_text(events: Sequence[TraceEvent]) -> str:
+    """Render the standard trace report (the ``report`` subcommand body)."""
+    by_type: Dict[str, int] = {}
+    span_time: Dict[str, float] = {}
+    span_count: Dict[str, int] = {}
+    for ev in events:
+        by_type[ev.name] = by_type.get(ev.name, 0) + 1
+        if ev.dur > 0.0:
+            span_time[ev.name] = span_time.get(ev.name, 0.0) + ev.dur
+            span_count[ev.name] = span_count.get(ev.name, 0) + 1
+
+    lines: List[str] = [f"trace report — {len(events)} events"]
+
+    lines.append("")
+    lines.append("events by type:")
+    for name, n in sorted(by_type.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {name:<24} {n:>8}")
+
+    if span_time:
+        lines.append("")
+        lines.append("time by phase (span events):")
+        for name, total in sorted(span_time.items(), key=lambda kv: -kv[1]):
+            n = span_count[name]
+            lines.append(
+                f"  {name:<24} {total * 1e3:>10.2f} ms"
+                f"  ({n} spans, {total / n * 1e3:.3f} ms avg)"
+            )
+
+    lines.append("")
+    lines.append("derived rates:")
+    loc_rate = _rate(
+        by_type.get(ev_types.LOCALITY_HIT, 0),
+        by_type.get(ev_types.LOCALITY_MISS, 0),
+    )
+    memo_rate = _rate(
+        by_type.get(ev_types.MEMO_HIT, 0), by_type.get(ev_types.MEMO_MISS, 0)
+    )
+    placed = by_type.get(ev_types.TASK_PLACED, 0)
+    backfills = by_type.get(ev_types.BACKFILL_HIT, 0)
+    rows = [
+        ("locality hit rate", loc_rate),
+        ("memo hit rate", memo_rate),
+        ("backfill fill ratio", backfills / placed if placed else None),
+    ]
+    for label, value in rows:
+        shown = f"{value:.1%}" if value is not None else "n/a"
+        lines.append(f"  {label:<24} {shown:>8}")
+    for label, name in [
+        ("tasks placed", ev_types.TASK_PLACED),
+        ("pseudo-edges added", ev_types.PSEUDO_EDGE_ADDED),
+        ("redistributions costed", ev_types.REDISTRIBUTION_COSTED),
+        ("outer iterations", ev_types.OUTER_ITERATION),
+        ("look-ahead steps", ev_types.LOOKAHEAD_STEP),
+    ]:
+        lines.append(f"  {label:<24} {by_type.get(name, 0):>8}")
+
+    sim_tasks = [e for e in events if e.name == ev_types.SIM_TASK]
+    if sim_tasks:
+        makespan = max(float(e.fields.get("finish", 0.0)) for e in sim_tasks)
+        lines.append("")
+        lines.append(
+            f"simulation: {len(sim_tasks)} task spans, makespan {makespan:g}"
+        )
+    return "\n".join(lines)
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Summarize or convert scheduler trace logs (JSONL).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("report", help="print a summary of a JSONL trace")
+    rep.add_argument("path", help="JSONL trace file (from --trace / write_jsonl)")
+
+    chrome = sub.add_parser(
+        "chrome",
+        help="convert a JSONL trace to Chrome trace-event JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    chrome.add_argument("path", help="JSONL trace file")
+    chrome.add_argument("out", help="output .json path")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    args = _parser().parse_args(argv)
+    events = read_jsonl(args.path)
+    if args.command == "report":
+        print(report_text(events))
+    elif args.command == "chrome":
+        n = write_chrome_trace(events, args.out)
+        print(f"wrote {n} trace slices to {args.out}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,100 @@
+"""Monotonic counters, gauges, and histogram-style timers.
+
+Deliberately dependency-free and cheap: a counter bump is one dict
+operation, a timer sample is a handful of float updates. Everything
+reduces to a plain-JSON ``summary()`` dict so registries can be logged,
+asserted on in tests, or merged into experiment reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["Counters", "Timers", "TimerStat"]
+
+
+class Counters:
+    """A named set of monotonic counters plus last-value gauges."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self._counts) + len(self._gauges)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = dict(sorted(self._counts.items()))
+        out.update(sorted(self._gauges.items()))
+        return out
+
+
+class TimerStat:
+    """Streaming count/total/min/max aggregate of one timer."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class Timers:
+    """A named registry of :class:`TimerStat` aggregates."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, TimerStat] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = TimerStat()
+        stat.add(seconds)
+
+    def get(self, name: str) -> TimerStat:
+        return self._stats.setdefault(name, TimerStat())
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {name: s.summary() for name, s in sorted(self._stats.items())}

@@ -1,0 +1,166 @@
+"""Trace persistence: JSONL event logs and Chrome trace-event JSON.
+
+Two formats, two audiences:
+
+* **JSONL** — one :class:`~repro.obs.events.TraceEvent` per line; the
+  lossless archival format the report CLI consumes and tests round-trip.
+* **Chrome trace-event JSON** — loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev. Wall-clock scheduler events render on one
+  process ("scheduler"); simulated-time events (``sim_task`` /
+  ``sim_transfer``) render on a second process ("simulation") with one
+  thread lane per processor, so the replay's 2-D chart is visible
+  directly in the trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.events import SIM_EVENT_TYPES, TraceEvent
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+EventSource = Union[Tracer, Iterable[TraceEvent]]
+
+_WALL_PID = 1
+_SIM_PID = 2
+
+
+def _as_events(source: EventSource) -> List[TraceEvent]:
+    if isinstance(source, Tracer):
+        return list(source.events)
+    return list(source)
+
+
+def write_jsonl(source: EventSource, path: str) -> int:
+    """Write events (or a tracer's events) to *path*, one JSON per line.
+
+    Returns the number of events written.
+    """
+    events = _as_events(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return len(events)
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load a JSONL event log written by :func:`write_jsonl`."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+def _sim_lane_events(ev: TraceEvent) -> List[Dict[str, Any]]:
+    """One Chrome 'X' slice per processor lane for a simulated-time event."""
+    fields = ev.fields
+    start = float(fields.get("start", 0.0))
+    finish = float(fields.get("finish", start))
+    procs: Sequence[int] = fields.get("processors", ()) or (0,)
+    if ev.name == "sim_transfer":
+        u, v = fields.get("edge", ("?", "?"))
+        label = f"xfer {u}→{v}"
+    else:
+        label = str(fields.get("task", ev.name))
+    args = {k: v for k, v in fields.items() if k != "processors"}
+    return [
+        {
+            "name": label,
+            "cat": ev.name,
+            "ph": "X",
+            "pid": _SIM_PID,
+            "tid": int(p),
+            "ts": start * 1e6,
+            "dur": max(finish - start, 0.0) * 1e6,
+            "args": args,
+        }
+        for p in procs
+    ]
+
+
+def to_chrome_trace(source: EventSource) -> Dict[str, Any]:
+    """Convert events to a Chrome trace-event dict (``traceEvents`` form).
+
+    Wall-clock timestamps are rebased so the first scheduler event sits at
+    t=0; span events (``dur > 0``) become complete ('X') slices, instants
+    become 'i' marks. Simulated-time events keep their own time base on a
+    separate trace process.
+    """
+    events = _as_events(source)
+    wall = [ev for ev in events if ev.name not in SIM_EVENT_TYPES]
+    sim = [ev for ev in events if ev.name in SIM_EVENT_TYPES]
+    t0 = min((ev.ts for ev in wall), default=0.0)
+
+    trace: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _WALL_PID,
+            "tid": 0,
+            "args": {"name": "scheduler (wall clock)"},
+        },
+    ]
+    for ev in wall:
+        record: Dict[str, Any] = {
+            "name": ev.name,
+            "cat": "scheduler",
+            "pid": _WALL_PID,
+            "tid": 0,
+            "ts": (ev.ts - t0) * 1e6,
+            "args": dict(ev.fields),
+        }
+        if ev.dur > 0.0:
+            record["ph"] = "X"
+            record["dur"] = ev.dur * 1e6
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace.append(record)
+
+    if sim:
+        trace.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": _SIM_PID,
+                "tid": 0,
+                "args": {"name": "simulation (schedule time)"},
+            }
+        )
+        lanes = set()
+        for ev in sim:
+            for rec in _sim_lane_events(ev):
+                lanes.add(rec["tid"])
+                trace.append(rec)
+        for lane in sorted(lanes):
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _SIM_PID,
+                    "tid": lane,
+                    "args": {"name": f"P{lane}"},
+                }
+            )
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: EventSource, path: str) -> int:
+    """Write a Chrome trace-event JSON file; returns the slice count."""
+    doc = to_chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -1,0 +1,126 @@
+"""The :class:`Tracer` (recording) and :class:`NullTracer` (disabled).
+
+Instrumented code receives a tracer through an optional ``tracer=``
+parameter defaulting to :data:`NULL_TRACER`, so un-traced runs pay
+essentially nothing: every ``NullTracer`` method is an immediate no-op
+and its ``enabled`` flag lets hot loops skip building event payloads
+altogether::
+
+    if tracer.enabled:
+        tracer.event("task_placed", task=tp, start=start, finish=finish)
+
+A recording :class:`Tracer` appends :class:`~repro.obs.events.TraceEvent`
+records (timestamped with ``time.perf_counter``), bumps a per-event-type
+counter, and aggregates span durations into its timer registry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, ContextManager, Dict, Iterator, List
+
+from repro.obs.counters import Counters, Timers
+from repro.obs.events import TraceEvent
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Collects typed events, counters, and timers for one traced run."""
+
+    #: hot-loop guard: ``False`` only on :class:`NullTracer`
+    enabled: bool = True
+
+    def __init__(self, *, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.events: List[TraceEvent] = []
+        self.counters = Counters()
+        self.timers = Timers()
+        self._clock = clock
+
+    # -- recording ---------------------------------------------------------------
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record an instant event *name* with payload *fields*."""
+        self.events.append(TraceEvent(name, self._clock(), fields))
+        self.counters.inc(name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump counter *name* without recording an event."""
+        self.counters.inc(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the last-seen value of gauge *name*."""
+        self.counters.set_gauge(name, value)
+
+    def span(self, name: str, **fields: Any) -> ContextManager[None]:
+        """Time a ``with`` block as a span event and a timer sample."""
+        return self._span(name, fields)
+
+    @contextmanager
+    def _span(self, name: str, fields: Dict[str, Any]) -> Iterator[None]:
+        t0 = self._clock()
+        try:
+            yield
+        finally:
+            dur = self._clock() - t0
+            self.events.append(TraceEvent(name, t0, fields, dur))
+            self.counters.inc(name)
+            self.timers.add(name, dur)
+
+    # -- inspection --------------------------------------------------------------
+
+    def events_by_type(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.name] = out.get(ev.name, 0) + 1
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """Plain-JSON rollup: event counts, counters, gauge values, timers."""
+        return {
+            "num_events": len(self.events),
+            "events_by_type": dict(sorted(self.events_by_type().items())),
+            "counters": self.counters.summary(),
+            "timers": self.timers.summary(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(events={len(self.events)})"
+
+
+class _NullContext:
+    """Reusable, allocation-free ``with`` target for disabled spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: records nothing, costs one method call."""
+
+    enabled = False
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str, **fields: Any) -> ContextManager[None]:
+        return _NULL_CONTEXT
+
+
+#: shared default for every ``tracer=`` parameter (stateless, safe to share)
+NULL_TRACER = NullTracer()

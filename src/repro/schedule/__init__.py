@@ -4,6 +4,7 @@ from repro.schedule.types import PlacedTask, Schedule
 from repro.schedule.timeline import ProcessorTimeline
 from repro.schedule.validation import validate_schedule
 from repro.schedule.metrics import (
+    busy_time,
     utilization,
     total_comm_time,
     total_idle_time,
@@ -23,6 +24,7 @@ __all__ = [
     "Schedule",
     "ProcessorTimeline",
     "validate_schedule",
+    "busy_time",
     "utilization",
     "total_comm_time",
     "total_idle_time",

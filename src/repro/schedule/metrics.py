@@ -8,6 +8,7 @@ from repro.graph import TaskGraph
 from repro.schedule.types import Schedule
 
 __all__ = [
+    "busy_time",
     "utilization",
     "total_comm_time",
     "total_idle_time",
@@ -17,20 +18,32 @@ __all__ = [
 ]
 
 
+def busy_time(schedule: Schedule) -> float:
+    """Total busy processor-time: the filled area of the 2-D chart."""
+    return sum(p.duration * p.width for p in schedule)
+
+
 def utilization(schedule: Schedule) -> float:
-    """Busy processor-time over total processor-time, in ``[0, 1]``."""
+    """Busy processor-time over total processor-time, in ``[0, 1]``.
+
+    An empty or zero-length schedule has utilization 0.
+    """
     makespan = schedule.makespan
     if makespan <= 0:
         return 0.0
-    busy = sum(p.duration * p.width for p in schedule)
-    return busy / (schedule.cluster.num_processors * makespan)
+    return busy_time(schedule) / (schedule.cluster.num_processors * makespan)
 
 
 def total_idle_time(schedule: Schedule) -> float:
-    """Idle processor-time (the 2-D chart's unfilled area)."""
+    """Idle processor-time (the 2-D chart's unfilled area).
+
+    An empty or zero-length schedule has no chart and hence no idle area
+    (0, matching :func:`utilization`'s handling of the same edge case).
+    """
     makespan = schedule.makespan
-    busy = sum(p.duration * p.width for p in schedule)
-    return schedule.cluster.num_processors * makespan - busy
+    if makespan <= 0:
+        return 0.0
+    return schedule.cluster.num_processors * makespan - busy_time(schedule)
 
 
 def total_comm_time(schedule: Schedule) -> float:

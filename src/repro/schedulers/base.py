@@ -11,6 +11,7 @@ from repro.cluster import Cluster
 from repro.exceptions import AllocationError
 from repro.graph import TaskGraph
 from repro.graph.pseudo import ScheduleDAG
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.redistribution import estimate_edge_cost
 from repro.schedule import Schedule
 
@@ -34,6 +35,11 @@ class Scheduler(abc.ABC):
 
     #: short identifier used by the registry and experiment reports
     name: str = "scheduler"
+
+    #: observability sink — assign a recording :class:`repro.obs.Tracer`
+    #: (or pass ``tracer=`` where the scheduler supports it) to capture
+    #: structured events; the shared no-op default records nothing
+    tracer: Tracer = NULL_TRACER
 
     @abc.abstractmethod
     def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:

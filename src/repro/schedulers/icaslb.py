@@ -43,6 +43,7 @@ class IcaslbScheduler(Scheduler):
         )
 
     def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:
+        self._inner.tracer = self.tracer  # forward an attached tracer
         plan = self._inner.run(graph, cluster)
         result = retime_with_communication(graph, cluster, plan.schedule)
         result.schedule.scheduler = self.name

@@ -26,6 +26,7 @@ paper attributes to non-overlapping systems.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -33,6 +34,7 @@ from repro.cluster import Cluster
 from repro.exceptions import ScheduleError
 from repro.graph import TaskGraph, bottom_levels
 from repro.graph.pseudo import ScheduleDAG
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.redistribution import RedistributionModel
 from repro.schedule import PlacedTask, ProcessorTimeline, Schedule
 from repro.schedulers.base import SchedulingResult, clamp_allocation, edge_cost_map
@@ -74,6 +76,7 @@ def locbs_schedule(
     allocation: Mapping[str, int],
     options: LocbsOptions = LocbsOptions(),
     context: Optional["SchedulingContext"] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SchedulingResult:
     """Schedule *graph* under *allocation* with locality-conscious backfill.
 
@@ -82,7 +85,13 @@ def locbs_schedule(
     resident on concrete processor sets (see
     :mod:`repro.schedulers.context`). Used by the on-line rescheduling
     framework.
+
+    *tracer* (optional) records per-placement observability events
+    (``task_placed``, ``backfill_hit``, ``locality_hit``/``miss``,
+    ``pseudo_edge_added``, ``redistribution_costed``); the default no-op
+    tracer keeps the hole-scan hot path free of event construction.
     """
+    tracer = tracer or NULL_TRACER
     alloc = clamp_allocation(graph, cluster, allocation)
     model = RedistributionModel(cluster)
     g = graph.nx_graph()
@@ -127,11 +136,21 @@ def locbs_schedule(
 
         placement, comm_times, est_tp = _place_task(
             tp, graph, cluster, alloc, model, timeline, schedule, options,
-            context,
+            context, tracer,
         )
         occupied_from = placement.start
         timeline.reserve(placement.processors, placement.start, placement.finish)
         schedule.place(placement)
+        if tracer.enabled:
+            tracer.event(
+                "task_placed",
+                task=tp,
+                start=placement.start,
+                exec_start=placement.exec_start,
+                finish=placement.finish,
+                width=placement.width,
+                processors=list(placement.processors),
+            )
         for (u, v), ct in comm_times.items():
             schedule.edge_comm_times[(u, v)] = ct
             edge_weights[(u, v)] = ct  # non-graph (external) keys are ignored
@@ -143,6 +162,13 @@ def locbs_schedule(
         if occupied_from > est_tp + _PSEUDO_TOL:
             for blocker in _find_blockers(schedule, placement, occupied_from):
                 sdag_pseudo.append((blocker, tp))
+                if tracer.enabled:
+                    tracer.event(
+                        "pseudo_edge_added",
+                        src=blocker,
+                        dst=tp,
+                        wait=occupied_from - est_tp,
+                    )
 
         for succ in graph.successors(tp):
             placed_count[succ] += 1
@@ -166,6 +192,7 @@ def _place_task(
     schedule: Schedule,
     options: LocbsOptions,
     context: Optional["SchedulingContext"] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[PlacedTask, Dict[Tuple[str, str], float], float]:
     """Find the minimum-finish-time hole for *tp* (Algorithm 2, steps 5-16).
 
@@ -210,6 +237,9 @@ def _place_task(
 
     best: Optional[Tuple[float, float, float, Tuple[int, ...]]] = None
     # best = (finish, start, exec_start, procs)
+    # interior-hole flag of the winning placement (a backfill proper: at
+    # least one chosen processor has a later reservation bounding the hole)
+    best_interior = False
 
     for tau in candidates:
         if best is not None and tau + et >= best[0] - EPS:
@@ -243,6 +273,11 @@ def _place_task(
                 continue
         if best is None or finish < best[0] - EPS:
             best = (finish, start, exec_start, chosen)
+            if tracer.enabled:
+                horizons = dict(free)
+                best_interior = any(
+                    math.isfinite(horizons.get(p, math.inf)) for p in chosen
+                )
 
     if best is None:
         # Unreachable: the final candidate (the chart horizon) always has all
@@ -261,6 +296,18 @@ def _place_task(
         (ft + comm_times[(u, tp)] for u, _, ft, _ in parent_info),
         default=0.0,
     )
+    if tracer.enabled:
+        if best_interior:
+            tracer.event("backfill_hit", task=tp, start=start, finish=finish)
+        if locality:
+            resident = sum(locality.get(p, 0.0) for p in chosen)
+            tracer.event(
+                "locality_hit" if resident > 0.0 else "locality_miss",
+                task=tp,
+                resident_bytes=resident,
+            )
+        for (u, _), ct in comm_times.items():
+            tracer.event("redistribution_costed", src=u, dst=tp, time=ct)
     return placement, comm_times, est_tp
 
 

@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tupl
 from repro.cluster import Cluster
 from repro.exceptions import ScheduleError
 from repro.graph import TaskGraph, concurrency_ratio
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.schedulers.context import SchedulingContext
 from repro.schedulers.locbs import LocbsOptions, locbs_schedule
@@ -70,6 +71,21 @@ class LocMpsScheduler(Scheduler):
         mismatched widths are often strictly worse, so this lands directly
         on the alignment the paper's walk aims for; ``"increment"`` is the
         paper's literal one-processor step (ablation).
+    memo_limit:
+        Upper bound on the number of memoized LoCBS results kept alive
+        during one :meth:`run` (FIFO eviction). ``None`` (default) keeps
+        every result — fine for one-shot scheduling, but deep look-aheads
+        on large graphs and long on-line rescheduling sessions can pin an
+        unbounded number of full :class:`SchedulingResult` objects; set a
+        limit to cap peak memory at the cost of re-scheduling evicted
+        allocations. Cumulative hit/miss/eviction statistics are exposed
+        on :attr:`memo_stats` and as ``memo_hit``/``memo_miss`` trace
+        events.
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording the outer allocation
+        loop (``outer_iteration``, ``lookahead_step``,
+        ``candidate_selected``, ``memo_*``) and, threaded through LoCBS,
+        every placement decision. Defaults to the shared no-op tracer.
     """
 
     name = "locmps"
@@ -85,6 +101,8 @@ class LocMpsScheduler(Scheduler):
         locality_blind: bool = False,
         edge_growth: str = "align",
         context: Optional["SchedulingContext"] = None,
+        memo_limit: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if look_ahead_depth < 1:
             raise ValueError(f"look_ahead_depth must be >= 1, got {look_ahead_depth}")
@@ -94,6 +112,8 @@ class LocMpsScheduler(Scheduler):
             raise ValueError(
                 f"edge_growth must be 'align' or 'increment', got {edge_growth!r}"
             )
+        if memo_limit is not None and memo_limit < 1:
+            raise ValueError(f"memo_limit must be >= 1 or None, got {memo_limit}")
         self.look_ahead_depth = look_ahead_depth
         self.top_fraction = top_fraction
         self.backfill = backfill
@@ -104,6 +124,13 @@ class LocMpsScheduler(Scheduler):
         #: pinned machine/data state for on-line rescheduling (fixed for
         #: the lifetime of the instance, so the allocation memo stays valid)
         self.context = context
+        self.memo_limit = memo_limit
+        self.tracer = tracer or NULL_TRACER
+        #: cumulative allocation-memo telemetry across every run() of this
+        #: instance: hits, misses, evictions, peak_size, last run's size
+        self.memo_stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "evictions": 0, "peak_size": 0, "size": 0,
+        }
         if not backfill:
             self.name = "locmps-nobackfill"
 
@@ -117,7 +144,10 @@ class LocMpsScheduler(Scheduler):
             comm_blind=self.comm_blind,
             locality_blind=self.locality_blind,
         )
-        return locbs_schedule(graph, cluster, alloc, options, context=self.context)
+        return locbs_schedule(
+            graph, cluster, alloc, options,
+            context=self.context, tracer=self.tracer,
+        )
 
     # -- candidate selection -------------------------------------------------------
 
@@ -158,10 +188,17 @@ class LocMpsScheduler(Scheduler):
         cp: List[str],
         cluster: Cluster,
         alloc: Dict[str, int],
-        limits: Mapping[str, int],
         banned: FrozenSet[Hashable],
     ) -> Optional[Tuple[str, str]]:
-        """Heaviest unmarked growable real edge on the critical path."""
+        """Heaviest unmarked growable real edge on the critical path.
+
+        Deliberately *not* constrained by the per-task ``pbest`` width
+        limits that gate :meth:`_select_task`: the paper grows a
+        dominating edge's endpoint purely to raise the aggregate transfer
+        bandwidth ``min(np_s, np_d) * bw``, even past the width where the
+        endpoint's own execution time stops improving. The only cap is
+        the machine size ``P``.
+        """
         P = cluster.num_processors
         best: Optional[Tuple[float, str, str]] = None
         for u, v, w in result.sdag.real_edges_on_path(cp):
@@ -230,15 +267,36 @@ class LocMpsScheduler(Scheduler):
 
         # Look-aheads restarted from the committed best allocation re-walk
         # their first increments repeatedly; LoCBS is deterministic in the
-        # allocation, so memoize results by allocation vector.
+        # allocation, so memoize results by allocation vector. The memo is
+        # per-run (keys are only unique for one graph/cluster pair);
+        # ``memo_limit`` bounds how many full results it may pin at once.
         memo: Dict[Tuple[int, ...], SchedulingResult] = {}
+        tracer = self.tracer
+        stats = self.memo_stats
 
         def schedule_for(alloc: Mapping[str, int]) -> SchedulingResult:
             key = tuple(alloc[t] for t in tasks)
             result = memo.get(key)
-            if result is None:
+            if result is not None:
+                stats["hits"] += 1
+                if tracer.enabled:
+                    tracer.event("memo_hit", size=len(memo))
+                return result
+            stats["misses"] += 1
+            if tracer.enabled:
+                tracer.event("memo_miss", size=len(memo))
+                with tracer.span("locbs_schedule"):
+                    result = self._schedule(graph, cluster, alloc)
+            else:
                 result = self._schedule(graph, cluster, alloc)
-                memo[key] = result
+            if self.memo_limit is not None and len(memo) >= self.memo_limit:
+                del memo[next(iter(memo))]  # FIFO: oldest allocation first
+                stats["evictions"] += 1
+                if tracer.enabled:
+                    tracer.event("memo_evicted", size=len(memo))
+            memo[key] = result
+            stats["peak_size"] = max(stats["peak_size"], len(memo))
+            stats["size"] = len(memo)
             return result
 
         best_alloc: Dict[str, int] = {t: 1 for t in tasks}
@@ -255,6 +313,13 @@ class LocMpsScheduler(Scheduler):
             old_sl = best_sl
             cur_result = best_result
             entry: Optional[EntryPoint] = None
+            if tracer.enabled:
+                tracer.event(
+                    "outer_iteration",
+                    index=_outer,
+                    best_makespan=best_sl,
+                    marked=len(marked),
+                )
 
             for iter_cnt in range(self.look_ahead_depth):
                 _cp_len, cp = cur_result.sdag.critical_path()
@@ -268,11 +333,11 @@ class LocMpsScheduler(Scheduler):
                     )
                     if candidate is None:
                         candidate = self._select_edge(
-                            cur_result, cp, cluster, alloc, limits, banned
+                            cur_result, cp, cluster, alloc, banned
                         )
                 else:
                     candidate = self._select_edge(
-                        cur_result, cp, cluster, alloc, limits, banned
+                        cur_result, cp, cluster, alloc, banned
                     )
                     if candidate is None:
                         candidate = self._select_task(
@@ -280,6 +345,18 @@ class LocMpsScheduler(Scheduler):
                         )
                 if candidate is None:
                     break
+                if tracer.enabled:
+                    tracer.event(
+                        "candidate_selected",
+                        kind="task" if isinstance(candidate, str) else "edge",
+                        candidate=(
+                            candidate
+                            if isinstance(candidate, str)
+                            else list(candidate)
+                        ),
+                        depth=iter_cnt,
+                        dominated_by="comp" if tcomp >= tcomm else "comm",
+                    )
 
                 if isinstance(candidate, str):
                     alloc[candidate] += 1
@@ -290,7 +367,15 @@ class LocMpsScheduler(Scheduler):
 
                 cur_result = schedule_for(alloc)
                 cur_sl = cur_result.makespan
-                if cur_sl < best_sl * (1.0 - _IMPROVE_RTOL):
+                improved = cur_sl < best_sl * (1.0 - _IMPROVE_RTOL)
+                if tracer.enabled:
+                    tracer.event(
+                        "lookahead_step",
+                        depth=iter_cnt,
+                        makespan=cur_sl,
+                        improved=improved,
+                    )
+                if improved:
                     best_alloc = dict(alloc)
                     best_sl = cur_sl
                     best_result = cur_result
@@ -302,5 +387,8 @@ class LocMpsScheduler(Scheduler):
             else:
                 marked.clear()
 
+        if tracer.enabled:
+            tracer.gauge("memo_size", len(memo))
+            tracer.gauge("memo_peak_size", stats["peak_size"])
         best_result.schedule.scheduler = self.name
         return best_result

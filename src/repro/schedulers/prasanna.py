@@ -212,6 +212,6 @@ class PrasannaMusicusScheduler(Scheduler):
         for t in graph.tasks():
             cap = graph.task(t).profile.pbest(P)
             alloc[t] = max(1, min(P, cap, round(shares[t])))
-        result = locbs_schedule(graph, cluster, alloc)
+        result = locbs_schedule(graph, cluster, alloc, tracer=self.tracer)
         result.schedule.scheduler = self.name
         return result

@@ -23,6 +23,6 @@ class TaskParallelScheduler(Scheduler):
 
     def run(self, graph: TaskGraph, cluster: Cluster) -> SchedulingResult:
         alloc = {t: 1 for t in graph.tasks()}
-        result = locbs_schedule(graph, cluster, alloc)
+        result = locbs_schedule(graph, cluster, alloc, tracer=self.tracer)
         result.schedule.scheduler = self.name
         return result

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cluster import Cluster
 from repro.exceptions import SimulationError
 from repro.graph import TaskGraph
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.redistribution import RedistributionModel
 from repro.schedule import Schedule
 from repro.sim.events import Event, EventKind
@@ -79,6 +80,7 @@ class ExecutionEngine:
         seed: SeedLike = None,
         use_single_port: bool = False,
         use_phased: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
@@ -89,6 +91,9 @@ class ExecutionEngine:
         #: highest-fidelity transfer rule: explicit conflict-free message
         #: phases (dominates ``use_single_port`` when both are set)
         self.use_phased = use_phased
+        #: observability sink: each realized task becomes a ``sim_task``
+        #: span (simulated time base), each transfer a ``sim_transfer``
+        self.tracer = tracer or NULL_TRACER
 
     # -- timing helpers ------------------------------------------------------------
 
@@ -199,6 +204,24 @@ class ExecutionEngine:
                             )
                     events.append(Event(exec_start, EventKind.TASK_START, task=name))
                     events.append(Event(finish, EventKind.TASK_END, task=name))
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "sim_task",
+                        task=name,
+                        start=start,
+                        exec_start=exec_start,
+                        finish=finish,
+                        processors=list(procs),
+                    )
+                    for u, xfer in xfers:
+                        if xfer > 0:
+                            self.tracer.event(
+                                "sim_transfer",
+                                edge=[u, name],
+                                start=done[u].finish,
+                                finish=done[u].finish + xfer,
+                                processors=list(procs),
+                            )
             if not progressed:
                 raise SimulationError(
                     f"deadlock replaying schedule: {sorted(pending)!r} cannot "

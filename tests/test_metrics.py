@@ -4,6 +4,7 @@ import pytest
 
 from repro import Cluster, PlacedTask, Schedule, TaskGraph
 from repro.schedule.metrics import (
+    busy_time,
     gantt_ascii,
     schedule_summary,
     total_comm_time,
@@ -40,6 +41,28 @@ class TestUtilization:
         s = Schedule(c)
         s.place(PlacedTask("A", 0.0, 0.0, 5.0, (0,)))
         assert utilization(s) == pytest.approx(1.0)
+
+    def test_busy_time_helper(self):
+        assert busy_time(make_schedule()) == pytest.approx(12.0)
+        assert busy_time(Schedule(Cluster(num_processors=2))) == 0.0
+
+    def test_zero_makespan_consistency(self):
+        # both metrics agree on the degenerate chart: no area at all
+        empty = Schedule(Cluster(num_processors=2))
+        assert utilization(empty) == 0.0
+        assert total_idle_time(empty) == 0.0
+        zero = Schedule(Cluster(num_processors=2))
+        zero.place(PlacedTask("A", 0.0, 0.0, 0.0, (0,)))
+        assert zero.makespan == 0.0
+        assert utilization(zero) == 0.0
+        assert total_idle_time(zero) == 0.0
+
+    def test_utilization_idle_identity(self):
+        # busy + idle always partitions the P x makespan rectangle
+        s = make_schedule()
+        area = s.cluster.num_processors * s.makespan
+        assert busy_time(s) + total_idle_time(s) == pytest.approx(area)
+        assert utilization(s) == pytest.approx(busy_time(s) / area)
 
 
 class TestCommMetrics:
