@@ -1,0 +1,66 @@
+"""Scheduler hot-path micro-benchmarks (the incremental engine).
+
+Wraps :mod:`repro.perf.hotpath` under pytest-benchmark at reduced (quick)
+scale: each suite times the optimized LoC-MPS against the frozen naive
+reference from :mod:`repro.perf.reference` and asserts the engine's two
+invariants — identical makespans and a wall-clock win on the acceptance
+suite. The standalone ``python -m repro.perf hotpath`` CLI produces the
+full-scale ``BENCH_hotpath.json`` trajectory; this file keeps the same
+measurements wired into ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.hotpath import build_suites, run_suite
+
+from benchmarks.conftest import emit
+
+
+def _suite_table(record) -> str:
+    lines = [
+        f"hotpath suite {record['name']} "
+        f"({record['tasks_total']} tasks, P={record['processors']})",
+        f"  optimized: {record['optimized']['wall_s']:.3f}s "
+        f"({record['optimized']['placements_per_s']:.0f} placements/s)",
+    ]
+    if "reference" in record:
+        lines.append(
+            f"  reference: {record['reference']['wall_s']:.3f}s  "
+            f"speedup {record['speedup']:.2f}x  "
+            f"makespans_equal={record['makespans_equal']}"
+        )
+    counters = record["optimized"]["counters"].get("gauges", {})
+    for key in sorted(counters):
+        if key.endswith("hit_rate"):
+            lines.append(f"  {key}: {counters[key]:.3f}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize(
+    "spec", build_suites("quick"), ids=lambda s: s.name
+)
+def test_hotpath_suite(run_once, spec):
+    record = run_once(run_suite, spec)
+    emit(_suite_table(record))
+    # The engine's hard invariant: optimizations never change a schedule.
+    assert record["makespans_equal"], (
+        f"{spec.name}: optimized and reference makespans diverged:\n"
+        + json.dumps(
+            {
+                "optimized": record["optimized"]["makespans"],
+                "reference": record["reference"]["makespans"],
+            },
+            indent=2,
+        )
+    )
+    # The acceptance suite (wide synthetic DAG, P >= 32) must show a real
+    # win; a loose 1.2x floor keeps the assertion robust to CI jitter
+    # (full-scale runs document >= 2x in BENCH_hotpath.json).
+    if spec.name.startswith("wide-"):
+        assert record["speedup"] >= 1.2, (
+            f"{spec.name}: speedup regressed to {record['speedup']:.2f}x"
+        )

@@ -17,6 +17,18 @@ import pytest
 TABLES_PATH = Path(__file__).with_name("last_figure_tables.txt")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def fresh_tables_file():
+    """Truncate TABLES_PATH once per pytest session.
+
+    :func:`emit` appends, so without this the file accreted tables from
+    every historical run; now it always holds exactly the latest session's
+    output (its name promises "last", not "all").
+    """
+    TABLES_PATH.write_text("")
+    yield
+
+
 def emit(result) -> None:
     """Print a FigureResult table and persist it to TABLES_PATH."""
     text = result.text() if hasattr(result, "text") else str(result)

@@ -38,20 +38,38 @@ VertexWeight = Callable[[str], float]
 EdgeWeight = Callable[[str, str], float]
 
 
-def _check_dag(g: nx.DiGraph) -> None:
-    if not nx.is_directed_acyclic_graph(g):
+def _topo_order(g: nx.DiGraph) -> List[str]:
+    """One valid topological order via Kahn's algorithm; raises on cycles.
+
+    Level relaxations only need *a* topological visit (the resulting values
+    are order-independent), so this replaces the seed's two networkx
+    traversals per call — ``is_directed_acyclic_graph`` (which runs a full
+    topological sort just to discard it) followed by ``topological_sort`` —
+    with a single plain-dict pass. Called on every look-ahead step of the
+    outer loop, which made the traversal overhead a measurable slice of
+    scheduling wall-clock.
+    """
+    indeg = {v: d for v, d in g.in_degree()}
+    order = [v for v, d in indeg.items() if d == 0]
+    adj = g.adj
+    for v in order:  # grows while iterating: classic in-place Kahn
+        for w in adj[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                order.append(w)
+    if len(order) != len(indeg):
         raise CycleError("graph contains a cycle; level analyses need a DAG")
+    return order
 
 
 def top_levels(
     g: nx.DiGraph, vertex_weight: VertexWeight, edge_weight: EdgeWeight
 ) -> Dict[str, float]:
     """``topL(v)`` for every vertex (0 for sources)."""
-    _check_dag(g)
     levels: Dict[str, float] = {}
-    for v in nx.topological_sort(g):
+    for v in _topo_order(g):
         best = 0.0
-        for u in g.predecessors(v):
+        for u in g.pred[v]:
             cand = levels[u] + vertex_weight(u) + edge_weight(u, v)
             if cand > best:
                 best = cand
@@ -63,11 +81,10 @@ def bottom_levels(
     g: nx.DiGraph, vertex_weight: VertexWeight, edge_weight: EdgeWeight
 ) -> Dict[str, float]:
     """``bottomL(v)`` for every vertex (own weight for sinks)."""
-    _check_dag(g)
     levels: Dict[str, float] = {}
-    for v in reversed(list(nx.topological_sort(g))):
+    for v in reversed(_topo_order(g)):
         best = 0.0
-        for w in g.successors(v):
+        for w in g.succ[v]:
             cand = edge_weight(v, w) + levels[w]
             if cand > best:
                 best = cand
@@ -85,9 +102,9 @@ def critical_path(
     the same path (important for the iterative allocation loops, which must
     not oscillate between tie-broken paths).
     """
-    _check_dag(g)
     if g.number_of_nodes() == 0:
         return 0.0, []
+    # acyclicity is checked (once) inside bottom_levels
     bottoms = bottom_levels(g, vertex_weight, edge_weight)
     # Start at the source-most vertex with maximal bottom level.
     start = min(
@@ -126,9 +143,9 @@ def critical_path_length(
     g: nx.DiGraph, vertex_weight: VertexWeight, edge_weight: EdgeWeight
 ) -> float:
     """Length of the critical path only (cheaper than materializing it)."""
-    _check_dag(g)
     if g.number_of_nodes() == 0:
         return 0.0
+    # acyclicity is checked (once) inside bottom_levels
     bottoms = bottom_levels(g, vertex_weight, edge_weight)
     return max(bottoms.values())
 

@@ -1,0 +1,6 @@
+"""``python -m repro.perf`` — run the perf harness from the command line."""
+
+from repro.perf.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""CLI for the perf harness.
+
+``python -m repro.perf hotpath [--quick] [--no-reference] [--out PATH]``
+    Run the hot-path micro-benchmarks and write ``BENCH_hotpath.json``.
+
+``python -m repro.perf golden [--check | --write] [--path PATH]``
+    Verify (default) or regenerate the golden schedule fingerprints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.perf.golden import GOLDEN_PATH, check_golden, write_golden
+from repro.perf.hotpath import run_hotpath
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Scheduler hot-path benchmarks and golden checks.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    hot = sub.add_parser("hotpath", help="run micro-benchmarks, emit JSON")
+    hot.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale suites (CI smoke; same shape, smaller graphs)",
+    )
+    hot.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the naive baseline arm (faster; no speedup column)",
+    )
+    hot.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_hotpath.json"),
+        help="output path (default: ./BENCH_hotpath.json)",
+    )
+
+    gold = sub.add_parser("golden", help="check or refresh golden fingerprints")
+    mode = gold.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="recompute and diff against the stored golden file (default)",
+    )
+    mode.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the golden file (only for intentional changes)",
+    )
+    gold.add_argument(
+        "--path", type=Path, default=GOLDEN_PATH, help="golden file location"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "golden":
+        if args.write:
+            path = write_golden(args.path)
+            print(f"golden fingerprints written to {path}")
+            return 0
+        problems = check_golden(args.path)
+        if problems:
+            for p in problems:
+                print(f"GOLDEN DRIFT: {p}", file=sys.stderr)
+            return 1
+        print(f"golden check OK ({args.path})")
+        return 0
+
+    # default command: hotpath
+    doc = run_hotpath(
+        scale="quick" if getattr(args, "quick", False) else "full",
+        include_reference=not getattr(args, "no_reference", False),
+        progress=lambda msg: print(msg, flush=True),
+    )
+    out: Path = getattr(args, "out", Path("BENCH_hotpath.json"))
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    for suite in doc["suites"]:
+        opt = suite["optimized"]
+        line = (
+            f"{suite['name']}: optimized {opt['wall_s']:.3f}s "
+            f"({opt['placements_per_s']:.0f} placements/s)"
+        )
+        if "speedup" in suite:
+            line += (
+                f", reference {suite['reference']['wall_s']:.3f}s, "
+                f"speedup {suite['speedup']:.2f}x, makespans_equal="
+                f"{suite['makespans_equal']}"
+            )
+        print(line)
+    print(f"wrote {out}")
+    return 0

@@ -1,7 +1,8 @@
 """Schedule representation, the 2-D chart timeline, validation, metrics."""
 
 from repro.schedule.types import PlacedTask, Schedule
-from repro.schedule.timeline import ProcessorTimeline
+from repro.schedule.timeline import IdleSweep, ProcessorTimeline
+from repro.schedule.placement_index import PlacementIndex
 from repro.schedule.validation import validate_schedule
 from repro.schedule.metrics import (
     busy_time,
@@ -23,6 +24,8 @@ __all__ = [
     "PlacedTask",
     "Schedule",
     "ProcessorTimeline",
+    "IdleSweep",
+    "PlacementIndex",
     "validate_schedule",
     "busy_time",
     "utilization",

@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right, insort
+from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.exceptions import ScheduleError
 from repro.utils.intervals import EPS, Interval, IntervalSet
 
-__all__ = ["ProcessorTimeline"]
+__all__ = ["IdleSweep", "ProcessorTimeline"]
 
 
 class ProcessorTimeline:
@@ -137,6 +138,18 @@ class ProcessorTimeline:
                 append((p, nxt))
         return out
 
+    def idle_sweep(self, start: float) -> "IdleSweep":
+        """An :class:`IdleSweep` positioned at probe time *start*.
+
+        The backfill slot search probes a placement's candidate start times
+        in ascending order against an *unchanging* chart, so recomputing
+        :meth:`idle_with_horizon` from scratch at every probe repeats almost
+        all of its work. The sweep classifies each processor once and then
+        reclassifies only the processors whose state actually flips between
+        consecutive probes.
+        """
+        return IdleSweep(self, start)
+
     def earliest_available(self, proc: int) -> float:
         """Latest busy end of *proc* (0 if never used) — the no-backfill EAT."""
         ends = self._ends[proc]
@@ -205,3 +218,90 @@ class ProcessorTimeline:
             f"ProcessorTimeline(P={len(self._procs)}, busy_intervals={busy}, "
             f"horizon={self.horizon():g})"
         )
+
+
+class IdleSweep:
+    """Incremental idle-set view of a frozen chart over ascending probes.
+
+    At any probe time ``t`` reached via :meth:`advance`, :meth:`free_pairs`
+    equals ``timeline.idle_with_horizon(t)`` up to ordering (property-tested
+    in ``tests/test_perf_equivalence.py``); downstream consumers must be
+    order-insensitive, which the LoCBS subset selection is (its ranking keys
+    embed the processor index, a total order).
+
+    A processor's classification — idle until ``next_busy_start``, busy
+    until ``end``, or idle forever — can only change when the probe time
+    crosses that boundary, so boundaries are kept in a min-heap and each
+    :meth:`advance` pops and reclassifies exactly the processors whose state
+    flipped. Construction costs one full classification (the work of a
+    single ``idle_with_horizon`` call); each advance is then amortized
+    O(flips log P) instead of O(P log intervals) per probe.
+
+    The sweep snapshots nothing: it reads the timeline's interval lists in
+    place, so it is only valid while the timeline is not mutated. The slot
+    search satisfies this by construction (it reserves only after the scan).
+    """
+
+    __slots__ = ("_starts", "_ends", "_free", "_events")
+
+    def __init__(self, timeline: ProcessorTimeline, start: float) -> None:
+        self._starts = timeline._starts
+        self._ends = timeline._ends
+        #: idle processors -> next busy start (inf when idle forever)
+        self._free: Dict[int, float] = {}
+        #: min-heap of (boundary time, proc): the next classification flips
+        self._events: List[Tuple[float, int]] = []
+        tol = start + EPS
+        free = self._free
+        events = self._events
+        starts_of = self._starts
+        ends_of = self._ends
+        inf = math.inf
+        for p in timeline._procs:
+            ends = ends_of[p]
+            if not ends or ends[-1] <= tol:
+                free[p] = inf  # idle forever: never reclassified
+                continue
+            idx = bisect_right(ends, tol)
+            nxt = starts_of[p][idx]
+            if nxt > tol:
+                free[p] = nxt
+                events.append((nxt, p))
+            else:
+                events.append((ends[idx], p))
+        heapify(events)
+
+    def advance(self, t: float) -> None:
+        """Move the probe time forward to *t* (must not decrease)."""
+        tol = t + EPS
+        events = self._events
+        if not events or events[0][0] > tol:
+            return
+        free = self._free
+        starts_of = self._starts
+        ends_of = self._ends
+        while events and events[0][0] <= tol:
+            p = heappop(events)[1]
+            ends = ends_of[p]
+            idx = bisect_right(ends, tol)
+            if idx == len(ends):
+                free[p] = math.inf
+                continue
+            nxt = starts_of[p][idx]
+            if nxt > tol:
+                free[p] = nxt
+                heappush(events, (nxt, p))
+            else:
+                free.pop(p, None)
+                heappush(events, (ends[idx], p))
+
+    def __len__(self) -> int:
+        """Number of idle processors at the current probe time."""
+        return len(self._free)
+
+    def free_pairs(self) -> List[Tuple[int, float]]:
+        """``(proc, next_busy_start)`` pairs of the current idle set.
+
+        Unordered — see the class docstring for why that is safe.
+        """
+        return list(self._free.items())

@@ -18,7 +18,8 @@ mapping) to instantiate by name.
 """
 
 from repro.schedulers.base import Scheduler, SchedulingResult
-from repro.schedulers.locbs import locbs_schedule, LocbsOptions
+from repro.schedulers.costcache import CostCache
+from repro.schedulers.locbs import locbs_schedule, LocbsOptions, ReadyQueue
 from repro.schedulers.nobackfill import nobackfill_schedule
 from repro.schedulers.list_scheduler import list_schedule
 from repro.schedulers.locmps import LocMpsScheduler
@@ -35,6 +36,8 @@ __all__ = [
     "SchedulingResult",
     "locbs_schedule",
     "LocbsOptions",
+    "CostCache",
+    "ReadyQueue",
     "nobackfill_schedule",
     "list_schedule",
     "LocMpsScheduler",

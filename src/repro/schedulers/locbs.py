@@ -28,23 +28,40 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.cluster import Cluster
 from repro.exceptions import ScheduleError
-from repro.graph import TaskGraph, bottom_levels
+from repro.graph import TaskGraph
 from repro.graph.pseudo import ScheduleDAG
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.redistribution import RedistributionModel
-from repro.schedule import PlacedTask, ProcessorTimeline, Schedule
-from repro.schedulers.base import SchedulingResult, clamp_allocation, edge_cost_map
+from repro.schedule import (
+    IdleSweep,
+    PlacedTask,
+    PlacementIndex,
+    ProcessorTimeline,
+    Schedule,
+)
+from repro.schedulers.base import SchedulingResult, clamp_allocation
 from repro.schedulers.context import SchedulingContext
+from repro.schedulers.costcache import CostCache, GraphInvariants
 from repro.utils.intervals import EPS
 
-__all__ = ["LocbsOptions", "locbs_schedule"]
+__all__ = ["LocbsOptions", "ReadyQueue", "locbs_schedule", "task_priorities"]
 
 #: tolerance when matching a blocked start time against finish times
 _PSEUDO_TOL = 1e-6
+
+
+class TransferTimer(Protocol):
+    """What the placement hot path needs from a redistribution model."""
+
+    def transfer_time(
+        self,
+        src_procs: Tuple[int, ...],
+        dst_procs: Tuple[int, ...],
+        volume: float,
+    ) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -70,6 +87,85 @@ class LocbsOptions:
     locality_blind: bool = False
 
 
+def task_priorities(
+    graph: TaskGraph,
+    bl: Mapping[str, float],
+    est_costs: Mapping[Tuple[str, str], float],
+    preds: Optional[Mapping[str, Sequence[str]]] = None,
+) -> Dict[str, float]:
+    """Algorithm 2 priorities: ``bottomL(t) + max_parent wt(e)``, all tasks.
+
+    Priorities depend only on the (fixed) allocation, so one O(V + E) pass
+    replaces the per-comparison closure the ready-queue sort used to call.
+    *preds* (optional) supplies precomputed predecessor lists — the cached
+    :class:`~repro.schedulers.costcache.GraphInvariants` — to skip the
+    per-task networkx traversal.
+    """
+    prio: Dict[str, float] = {}
+    for t in graph.tasks():
+        parents = graph.predecessors(t) if preds is None else preds[t]
+        max_in = max((est_costs[(u, t)] for u in parents), default=0.0)
+        prio[t] = bl[t] + max_in
+    return prio
+
+
+def _bottom_levels_under(
+    inv: GraphInvariants,
+    graph: TaskGraph,
+    alloc: Mapping[str, int],
+    est_costs: Mapping[Tuple[str, str], float],
+) -> Dict[str, float]:
+    """``bottomL(t)`` under *alloc*, over the cached graph invariants.
+
+    The same reverse-topological relaxation as
+    :func:`repro.graph.bottom_levels` — each vertex takes the max over its
+    successors in identical iteration order, so results are bit-identical —
+    minus the per-call acyclicity check and networkx traversals (acyclicity
+    was already established when the invariants were built).
+    """
+    et = graph.et
+    succs = inv.succs
+    bl: Dict[str, float] = {}
+    for v in reversed(inv.order):
+        best = 0.0
+        for w in succs[v]:
+            cand = est_costs[(v, w)] + bl[w]
+            if cand > best:
+                best = cand
+        bl[v] = et(v, alloc[v]) + best
+    return bl
+
+
+class ReadyQueue:
+    """Max-heap of ready tasks ordered by (priority desc, name asc).
+
+    Pop order is identical to repeatedly re-sorting the ready list by
+    ``(-priority(t), t)`` and taking the head (property-tested against
+    that reference in ``tests/test_perf_equivalence.py``): priorities are
+    fixed for the whole LoCBS call, so a binary heap turns the former
+    O(R log R) sort per placement into O(log R) per push/pop.
+    """
+
+    __slots__ = ("_prio", "_heap")
+
+    def __init__(self, priorities: Mapping[str, float]) -> None:
+        self._prio = priorities
+        self._heap: List[Tuple[float, str]] = []
+
+    def push(self, task: str) -> None:
+        heapq.heappush(self._heap, (-self._prio[task], task))
+
+    def pop(self) -> str:
+        """Remove and return the highest-priority ready task."""
+        return heapq.heappop(self._heap)[1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
 def locbs_schedule(
     graph: TaskGraph,
     cluster: Cluster,
@@ -77,6 +173,7 @@ def locbs_schedule(
     options: LocbsOptions = LocbsOptions(),
     context: Optional["SchedulingContext"] = None,
     tracer: Optional[Tracer] = None,
+    cost_cache: Optional[CostCache] = None,
 ) -> SchedulingResult:
     """Schedule *graph* under *allocation* with locality-conscious backfill.
 
@@ -90,25 +187,26 @@ def locbs_schedule(
     (``task_placed``, ``backfill_hit``, ``locality_hit``/``miss``,
     ``pseudo_edge_added``, ``redistribution_costed``); the default no-op
     tracer keeps the hole-scan hot path free of event construction.
+
+    *cost_cache* (optional) shares memoized edge-cost estimates and
+    concrete transfer times across calls — the LoC-MPS outer loop passes
+    one run-scoped :class:`~repro.schedulers.costcache.CostCache` so each
+    look-ahead step re-derives only the costs its allocation change
+    touched. Omitted, a private per-call cache still dedupes the repeated
+    transfer timings of the hole scan. Caching never changes the produced
+    schedule (cached values are the exact uncached results).
     """
     tracer = tracer or NULL_TRACER
     alloc = clamp_allocation(graph, cluster, allocation)
-    model = RedistributionModel(cluster)
-    g = graph.nx_graph()
+    cache = cost_cache if cost_cache is not None else CostCache(cluster)
+    inv = cache.graph_invariants(graph)
 
     # Priorities (Algorithm 2, step 4): bottom level under the current
-    # allocation plus the heaviest inbound edge estimate.
-    est_costs = edge_cost_map(graph, cluster, alloc, comm_blind=options.comm_blind)
-    bl = bottom_levels(
-        g,
-        lambda t: graph.et(t, alloc[t]),
-        lambda u, v: est_costs[(u, v)],
-    )
-
-    def priority(t: str) -> float:
-        preds = graph.predecessors(t)
-        max_in = max((est_costs[(u, t)] for u in preds), default=0.0)
-        return bl[t] + max_in
+    # allocation plus the heaviest inbound edge estimate. Both are fixed
+    # for the whole call, so they are computed once up front.
+    est_costs = cache.edge_cost_map(graph, alloc, comm_blind=options.comm_blind)
+    bl = _bottom_levels_under(inv, graph, alloc, est_costs)
+    prio = task_priorities(graph, bl, est_costs, preds=inv.preds)
 
     timeline = ProcessorTimeline(cluster.processors)
     if context is not None:
@@ -116,31 +214,34 @@ def locbs_schedule(
             if ready > 0:
                 timeline.reserve([proc], 0.0, ready)
     schedule = Schedule(cluster, scheduler="locbs")
+    index = PlacementIndex()
     vertex_weights: Dict[str, float] = {}
     edge_weights: Dict[Tuple[str, str], float] = {}
     sdag_pseudo: List[Tuple[str, str]] = []
 
+    preds = inv.preds
     unplaced = set(graph.tasks())
-    placed_count: Dict[str, int] = {t: 0 for t in graph.tasks()}
-    n_preds = {t: len(graph.predecessors(t)) for t in graph.tasks()}
-    ready = sorted(
-        (t for t in unplaced if n_preds[t] == 0),
-        key=lambda t: (-priority(t), t),
-    )
+    placed_count: Dict[str, int] = {t: 0 for t in unplaced}
+    n_preds = {t: len(ps) for t, ps in preds.items()}
+    ready = ReadyQueue(prio)
+    for t in graph.tasks():
+        if n_preds[t] == 0:
+            ready.push(t)
 
     while unplaced:
         if not ready:
             raise ScheduleError("no ready task but tasks remain: cyclic graph?")
-        tp = ready.pop(0)
+        tp = ready.pop()
         unplaced.discard(tp)
 
         placement, comm_times, est_tp = _place_task(
-            tp, graph, cluster, alloc, model, timeline, schedule, options,
-            context, tracer,
+            tp, preds[tp], graph, cluster, alloc, cache, timeline, schedule,
+            options, context, tracer,
         )
         occupied_from = placement.start
         timeline.reserve(placement.processors, placement.start, placement.finish)
         schedule.place(placement)
+        index.add(placement)
         if tracer.enabled:
             tracer.event(
                 "task_placed",
@@ -160,7 +261,9 @@ def locbs_schedule(
         # Pseudo-edges (Algorithm 2, steps 17-18): the task waited on
         # resources, not data — record which finishing tasks released them.
         if occupied_from > est_tp + _PSEUDO_TOL:
-            for blocker in _find_blockers(schedule, placement, occupied_from):
+            for blocker in index.blockers(
+                placement, occupied_from, tol=_PSEUDO_TOL
+            ):
                 sdag_pseudo.append((blocker, tp))
                 if tracer.enabled:
                     tracer.event(
@@ -170,11 +273,10 @@ def locbs_schedule(
                         wait=occupied_from - est_tp,
                     )
 
-        for succ in graph.successors(tp):
+        for succ in inv.succs[tp]:
             placed_count[succ] += 1
             if placed_count[succ] == n_preds[succ] and succ in unplaced:
-                ready.append(succ)
-        ready.sort(key=lambda t: (-priority(t), t))
+                ready.push(succ)
 
     sdag = ScheduleDAG(graph, vertex_weights, edge_weights)
     for u, v in sdag_pseudo:
@@ -184,10 +286,11 @@ def locbs_schedule(
 
 def _place_task(
     tp: str,
+    parents: Sequence[str],
     graph: TaskGraph,
     cluster: Cluster,
     alloc: Mapping[str, int],
-    model: RedistributionModel,
+    model: "TransferTimer",
     timeline: ProcessorTimeline,
     schedule: Schedule,
     options: LocbsOptions,
@@ -196,12 +299,17 @@ def _place_task(
 ) -> Tuple[PlacedTask, Dict[Tuple[str, str], float], float]:
     """Find the minimum-finish-time hole for *tp* (Algorithm 2, steps 5-16).
 
+    *parents* is *tp*'s predecessor list (the caller holds it cached in the
+    graph invariants). *model* is anything with a
+    ``transfer_time(src, dst, volume)`` method: the optimized path passes a
+    :class:`CostCache`, the naive reference in :mod:`repro.perf.reference`
+    the raw redistribution model.
+
     Returns the placement, the actual per-in-edge communication times, and
     ``est(tp)`` (the data-ready lower bound used for pseudo-edge detection).
     """
     np_t = alloc[tp]
     et = graph.et(tp, np_t)
-    parents = graph.predecessors(tp)
     parent_info: List[Tuple[str, Tuple[int, ...], float, float]] = []
     for u in parents:
         pu = schedule[u]
@@ -240,12 +348,30 @@ def _place_task(
     # interior-hole flag of the winning placement (a backfill proper: at
     # least one chosen processor has a later reservation bounding the hole)
     best_interior = False
+    # The chart is frozen for the whole scan, so an incremental sweep can
+    # replace the from-scratch idle query per candidate. Built lazily: most
+    # placements settle on the first candidate (where the sweep has no
+    # advantage over one plain query) and never pay for its event heap.
+    sweep: Optional[IdleSweep] = None
+    first_probe = True
 
     for tau in candidates:
         if best is not None and tau + et >= best[0] - EPS:
             break  # no later start can beat the current finish time
         if options.backfill:
-            free = timeline.idle_with_horizon(tau)
+            if first_probe:
+                first_probe = False
+                free = timeline.idle_with_horizon(tau)
+                if len(free) < np_t:
+                    continue
+            else:
+                if sweep is None:
+                    sweep = timeline.idle_sweep(tau)
+                else:
+                    sweep.advance(tau)
+                if len(sweep) < np_t:
+                    continue
+                free = sweep.free_pairs()
         else:
             free = [
                 (p, float("inf"))
@@ -327,16 +453,20 @@ def _pick_by_locality(
     """
     if len(free) == np_t:
         return tuple(sorted(ph[0] for ph in free))
+    # Decorate-sort-slice: the decoration tuples are exactly the ranking
+    # keys (with the unique processor index last, so ordering is total and
+    # input-order independent), making this equivalent to
+    # ``heapq.nsmallest(np_t, free, key=...)`` — but with the comparison
+    # and selection work done by the C-level tuple sort instead of a
+    # Python-level heap with a lambda key.
     if locality:
         get = locality.get
-        picked = heapq.nsmallest(
-            np_t, free, key=lambda ph: (-get(ph[0], 0.0), -ph[1], ph[0])
-        )
+        ranked = sorted((-get(p, 0.0), -h, p) for p, h in free)
     else:
         # CCR=0 / comm-blind fast path: no resident data anywhere, rank by
         # idle horizon only.
-        picked = heapq.nsmallest(np_t, free, key=lambda ph: (-ph[1], ph[0]))
-    return tuple(sorted(ph[0] for ph in picked))
+        ranked = sorted((-h, p) for p, h in free)
+    return tuple(sorted(r[-1] for r in ranked[:np_t]))
 
 
 def _time_placement(
@@ -344,9 +474,9 @@ def _time_placement(
     tau: float,
     et: float,
     parent_info: Sequence[Tuple[str, Tuple[int, ...], float, float]],
-    model: RedistributionModel,
+    model: "TransferTimer",
     overlap: bool,
-) -> Optional[Tuple[float, float, float]]:
+) -> Tuple[float, float, float]:
     """``(start, exec_start, finish)`` of placing the task at hole start *tau*.
 
     With overlap, redistribution only delays the computation start; without,
@@ -369,30 +499,3 @@ def _time_placement(
     start = max(tau, ready)
     exec_start = start + comm
     return start, exec_start, exec_start + et
-
-
-def _find_blockers(
-    schedule: Schedule, placement: PlacedTask, blocked_start: float
-) -> List[str]:
-    """Tasks whose completion released processors to *placement*.
-
-    Per the paper: tasks ``ti`` with ``ft(ti) == st(tp)`` sharing a
-    processor. When rounding leaves no exact match, fall back to the
-    latest-finishing processor-sharing task that ended before the start.
-    """
-    mine = set(placement.processors)
-    exact: List[str] = []
-    latest: Optional[Tuple[float, str]] = None
-    for other in schedule:
-        if other.name == placement.name or not mine & set(other.processors):
-            continue
-        if abs(other.finish - blocked_start) <= _PSEUDO_TOL:
-            exact.append(other.name)
-        elif other.finish < blocked_start + _PSEUDO_TOL:
-            if latest is None or other.finish > latest[0]:
-                latest = (other.finish, other.name)
-    if exact:
-        return sorted(exact)
-    if latest is not None:
-        return [latest[1]]
-    return []

@@ -30,6 +30,7 @@ from repro.graph import TaskGraph, concurrency_ratio
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.schedulers.context import SchedulingContext
+from repro.schedulers.costcache import CostCache
 from repro.schedulers.locbs import LocbsOptions, locbs_schedule
 
 __all__ = ["LocMpsScheduler"]
@@ -37,6 +38,12 @@ __all__ = ["LocMpsScheduler"]
 #: strict-improvement slack: a makespan must beat the incumbent by more than
 #: this relative margin to count as better (prevents float-noise commits)
 _IMPROVE_RTOL = 1e-9
+
+#: tolerance for treating two critical-path edge weights as tied during
+#: candidate selection (near-equal weights fall back to the lexicographic
+#: tie-break instead of whichever float noise made infinitesimally larger)
+_TIE_RTOL = 1e-9
+_TIE_ATOL = 1e-12
 
 EntryPoint = Union[str, Tuple[str, str]]  # a task name or an edge
 
@@ -81,6 +88,13 @@ class LocMpsScheduler(Scheduler):
         allocations. Cumulative hit/miss/eviction statistics are exposed
         on :attr:`memo_stats` and as ``memo_hit``/``memo_miss`` trace
         events.
+    cost_cache_limit:
+        Upper bound on the run-scoped :class:`CostCache`'s concrete
+        transfer-time memo (cleared wholesale when full). ``None``
+        (default) keeps every timed ``(src, dst, volume)`` triple for the
+        whole run. Cumulative hit/miss statistics are exposed on
+        :attr:`cost_cache_stats` and as ``cost_cache_*`` gauges when
+        tracing. Caching never changes the produced schedule.
     tracer:
         Optional :class:`repro.obs.Tracer` recording the outer allocation
         loop (``outer_iteration``, ``lookahead_step``,
@@ -102,6 +116,7 @@ class LocMpsScheduler(Scheduler):
         edge_growth: str = "align",
         context: Optional["SchedulingContext"] = None,
         memo_limit: Optional[int] = None,
+        cost_cache_limit: Optional[int] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         if look_ahead_depth < 1:
@@ -114,6 +129,10 @@ class LocMpsScheduler(Scheduler):
             )
         if memo_limit is not None and memo_limit < 1:
             raise ValueError(f"memo_limit must be >= 1 or None, got {memo_limit}")
+        if cost_cache_limit is not None and cost_cache_limit < 1:
+            raise ValueError(
+                f"cost_cache_limit must be >= 1 or None, got {cost_cache_limit}"
+            )
         self.look_ahead_depth = look_ahead_depth
         self.top_fraction = top_fraction
         self.backfill = backfill
@@ -125,12 +144,23 @@ class LocMpsScheduler(Scheduler):
         #: the lifetime of the instance, so the allocation memo stays valid)
         self.context = context
         self.memo_limit = memo_limit
+        self.cost_cache_limit = cost_cache_limit
         self.tracer = tracer or NULL_TRACER
         #: cumulative allocation-memo telemetry across every run() of this
         #: instance: hits, misses, evictions, peak_size, last run's size
         self.memo_stats: Dict[str, int] = {
             "hits": 0, "misses": 0, "evictions": 0, "peak_size": 0, "size": 0,
         }
+        #: cumulative cost-cache telemetry across every run() (hits/misses
+        #: of the edge-estimate and concrete-transfer memos)
+        self.cost_cache_stats: Dict[str, int] = {
+            "edge_hits": 0, "edge_misses": 0,
+            "transfer_hits": 0, "transfer_misses": 0, "transfer_clears": 0,
+            "graph_hits": 0, "graph_misses": 0,
+        }
+        #: the run-scoped cost cache while run() is active (None otherwise);
+        #: _schedule threads it into every look-ahead LoCBS call
+        self._cost_cache: Optional[CostCache] = None
         if not backfill:
             self.name = "locmps-nobackfill"
 
@@ -147,6 +177,7 @@ class LocMpsScheduler(Scheduler):
         return locbs_schedule(
             graph, cluster, alloc, options,
             context=self.context, tracer=self.tracer,
+            cost_cache=self._cost_cache,
         )
 
     # -- candidate selection -------------------------------------------------------
@@ -209,7 +240,12 @@ class LocMpsScheduler(Scheduler):
             # Growing an endpoint only helps if it raises min(np_u, np_v) or
             # improves locality potential; the paper grows regardless, capped
             # only by P, so mirror that.
-            if best is None or w > best[0] or (w == best[0] and (u, v) < best[1:]):
+            if best is None:
+                best = (w, u, v)
+            elif math.isclose(w, best[0], rel_tol=_TIE_RTOL, abs_tol=_TIE_ATOL):
+                if (u, v) < best[1:]:
+                    best = (max(w, best[0]), u, v)
+            elif w > best[0]:
                 best = (w, u, v)
         if best is None:
             return None
@@ -299,96 +335,112 @@ class LocMpsScheduler(Scheduler):
             stats["size"] = len(memo)
             return result
 
+        # Each look-ahead step grows one or two tasks, so nearly every
+        # allocation-time edge estimate and every concrete transfer timing
+        # carries over between LoCBS calls: one run-scoped cost cache
+        # serves them all (see :mod:`repro.schedulers.costcache`).
+        cache = CostCache(cluster, transfer_limit=self.cost_cache_limit)
+        self._cost_cache = cache
+
         best_alloc: Dict[str, int] = {t: 1 for t in tasks}
-        best_result = schedule_for(best_alloc)
-        best_sl = best_result.makespan
+        try:
+            best_result = schedule_for(best_alloc)
+            best_sl = best_result.makespan
 
-        marked: Set[Hashable] = set()
-        outer_cap = self.max_outer_iterations or max(
-            64, 8 * graph.num_tasks * P
-        )
+            marked: Set[Hashable] = set()
+            outer_cap = self.max_outer_iterations or max(
+                64, 8 * graph.num_tasks * P
+            )
 
-        for _outer in range(outer_cap):
-            alloc = dict(best_alloc)
-            old_sl = best_sl
-            cur_result = best_result
-            entry: Optional[EntryPoint] = None
-            if tracer.enabled:
-                tracer.event(
-                    "outer_iteration",
-                    index=_outer,
-                    best_makespan=best_sl,
-                    marked=len(marked),
-                )
-
-            for iter_cnt in range(self.look_ahead_depth):
-                _cp_len, cp = cur_result.sdag.critical_path()
-                tcomp, tcomm = cur_result.sdag.path_costs(cp)
-                banned = frozenset(marked) if iter_cnt == 0 else frozenset()
-
-                candidate: Optional[EntryPoint] = None
-                if tcomp >= tcomm:
-                    candidate = self._select_task(
-                        cp, graph, alloc, limits, cr, banned
+            for _outer in range(outer_cap):
+                alloc = dict(best_alloc)
+                old_sl = best_sl
+                cur_result = best_result
+                entry: Optional[EntryPoint] = None
+                if tracer.enabled:
+                    tracer.event(
+                        "outer_iteration",
+                        index=_outer,
+                        best_makespan=best_sl,
+                        marked=len(marked),
                     )
-                    if candidate is None:
-                        candidate = self._select_edge(
-                            cur_result, cp, cluster, alloc, banned
-                        )
-                else:
-                    candidate = self._select_edge(
-                        cur_result, cp, cluster, alloc, banned
-                    )
-                    if candidate is None:
+
+                for iter_cnt in range(self.look_ahead_depth):
+                    _cp_len, cp = cur_result.sdag.critical_path()
+                    tcomp, tcomm = cur_result.sdag.path_costs(cp)
+                    banned = frozenset(marked) if iter_cnt == 0 else frozenset()
+
+                    candidate: Optional[EntryPoint] = None
+                    if tcomp >= tcomm:
                         candidate = self._select_task(
                             cp, graph, alloc, limits, cr, banned
                         )
-                if candidate is None:
-                    break
-                if tracer.enabled:
-                    tracer.event(
-                        "candidate_selected",
-                        kind="task" if isinstance(candidate, str) else "edge",
-                        candidate=(
-                            candidate
-                            if isinstance(candidate, str)
-                            else list(candidate)
-                        ),
-                        depth=iter_cnt,
-                        dominated_by="comp" if tcomp >= tcomm else "comm",
-                    )
+                        if candidate is None:
+                            candidate = self._select_edge(
+                                cur_result, cp, cluster, alloc, banned
+                            )
+                    else:
+                        candidate = self._select_edge(
+                            cur_result, cp, cluster, alloc, banned
+                        )
+                        if candidate is None:
+                            candidate = self._select_task(
+                                cp, graph, alloc, limits, cr, banned
+                            )
+                    if candidate is None:
+                        break
+                    if tracer.enabled:
+                        tracer.event(
+                            "candidate_selected",
+                            kind="task" if isinstance(candidate, str) else "edge",
+                            candidate=(
+                                candidate
+                                if isinstance(candidate, str)
+                                else list(candidate)
+                            ),
+                            depth=iter_cnt,
+                            dominated_by="comp" if tcomp >= tcomm else "comm",
+                        )
 
-                if isinstance(candidate, str):
-                    alloc[candidate] += 1
+                    if isinstance(candidate, str):
+                        alloc[candidate] += 1
+                    else:
+                        self._grow_edge(candidate, alloc, P)
+                    if iter_cnt == 0:
+                        entry = candidate
+
+                    cur_result = schedule_for(alloc)
+                    cur_sl = cur_result.makespan
+                    improved = cur_sl < best_sl * (1.0 - _IMPROVE_RTOL)
+                    if tracer.enabled:
+                        tracer.event(
+                            "lookahead_step",
+                            depth=iter_cnt,
+                            makespan=cur_sl,
+                            improved=improved,
+                        )
+                    if improved:
+                        best_alloc = dict(alloc)
+                        best_sl = cur_sl
+                        best_result = cur_result
+
+                if entry is None:
+                    break  # nothing left to try from the committed best state
+                if best_sl >= old_sl * (1.0 - _IMPROVE_RTOL):
+                    marked.add(entry if isinstance(entry, str) else tuple(entry))
                 else:
-                    self._grow_edge(candidate, alloc, P)
-                if iter_cnt == 0:
-                    entry = candidate
-
-                cur_result = schedule_for(alloc)
-                cur_sl = cur_result.makespan
-                improved = cur_sl < best_sl * (1.0 - _IMPROVE_RTOL)
-                if tracer.enabled:
-                    tracer.event(
-                        "lookahead_step",
-                        depth=iter_cnt,
-                        makespan=cur_sl,
-                        improved=improved,
-                    )
-                if improved:
-                    best_alloc = dict(alloc)
-                    best_sl = cur_sl
-                    best_result = cur_result
-
-            if entry is None:
-                break  # nothing left to try from the committed best state
-            if best_sl >= old_sl * (1.0 - _IMPROVE_RTOL):
-                marked.add(entry if isinstance(entry, str) else tuple(entry))
-            else:
-                marked.clear()
+                    marked.clear()
+        finally:
+            for key, val in cache.stats.items():
+                self.cost_cache_stats[key] += val
+            self._cost_cache = None
 
         if tracer.enabled:
             tracer.gauge("memo_size", len(memo))
             tracer.gauge("memo_peak_size", stats["peak_size"])
+            tracer.gauge("cost_cache_edge_hit_rate", cache.hit_rate("edge"))
+            tracer.gauge(
+                "cost_cache_transfer_hit_rate", cache.hit_rate("transfer")
+            )
         best_result.schedule.scheduler = self.name
         return best_result
