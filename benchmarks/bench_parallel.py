@@ -1,0 +1,62 @@
+"""Parallel scheduling backend benchmarks (speculative prefill).
+
+Wraps :mod:`repro.perf.parallel` under pytest-benchmark at reduced
+(quick) scale: each suite times serial LoC-MPS against
+``LocMpsScheduler(parallel_workers=2)`` and asserts the backend's hard
+invariant — bit-identical makespans and placement digests. Speedup is
+reported, not asserted: it needs free cores (speculation converts idle
+cores into prefetched LoCBS passes), and CI runners routinely pin this
+suite to one or two. The standalone ``python -m repro.perf parallel``
+CLI produces the full-scale ``BENCH_parallel.json`` trajectory; this
+file keeps the same measurements wired into
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.parallel import available_parallelism, run_suite_parallel
+from repro.perf.hotpath import build_suites
+
+from benchmarks.conftest import emit
+
+_JOBS = 2
+
+
+def _suite_table(record) -> str:
+    par = record["parallel"]
+    lines = [
+        f"parallel suite {record['name']} "
+        f"({record['tasks_total']} tasks, P={record['processors']}, "
+        f"jobs={_JOBS}, cores={available_parallelism()})",
+        f"  serial:   {record['serial']['wall_s']:.3f}s",
+        f"  parallel: {par['wall_s']:.3f}s  "
+        f"speedup {record['speedup']:.2f}x  identical={record['identical']}",
+        f"  prefill:  hit_rate {par['prefill_hit_rate']:.3f}  "
+        f"chains {par['prefill']['chains_submitted']} submitted / "
+        f"{par['prefill']['chains_completed']} completed / "
+        f"{par['prefill']['chains_cancelled']} cancelled",
+    ]
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize(
+    "spec", build_suites("quick"), ids=lambda s: s.name
+)
+def test_parallel_suite(run_once, spec):
+    record = run_once(run_suite_parallel, spec, jobs=_JOBS)
+    emit(_suite_table(record))
+    # The backend's hard invariant: speculation never changes a schedule.
+    assert record["identical"], (
+        f"{spec.name}: serial and parallel schedules diverged:\n"
+        + json.dumps(
+            {
+                "serial": record["serial"]["makespans"],
+                "parallel": record["parallel"]["makespans"],
+            },
+            indent=2,
+        )
+    )

@@ -66,18 +66,22 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
+        "--jobs",
+        "-j",
+        dest="workers",
         type=int,
         default=1,
-        help="fan (graph, P) cells out over this many worker processes "
-        "(not used by fig11)",
+        help="fan (graph, P) cells out over this many warm worker "
+        "processes (not used by fig11)",
     )
     parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
-        help="record scheduler/simulation trace events to PATH as JSONL "
-        "(forces --workers 1; summarize with 'python -m repro.obs report', "
-        "convert for chrome://tracing with 'python -m repro.obs chrome')",
+        help="record scheduler/simulation trace events to PATH as JSONL; "
+        "with --workers > 1 the workers spool events and the spools are "
+        "merged (summarize with 'python -m repro.obs report', convert for "
+        "chrome://tracing with 'python -m repro.obs chrome')",
     )
     return parser
 
@@ -99,9 +103,6 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         from repro.obs import Tracer
 
         tracer = Tracer()
-        if workers > 1:
-            print("--trace forces --workers 1", file=sys.stderr)
-            workers = 1
 
     for name in names:
         kwargs = dict(

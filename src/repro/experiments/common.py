@@ -10,10 +10,12 @@ the standard choice for normalized performance ratios.
 from __future__ import annotations
 
 import math
+import pickle
+import shutil
 import sys
+import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import Cluster
@@ -93,13 +95,7 @@ def relative_performance(
 def _run_cell(
     args: Tuple[TaskGraph, int, float, bool, Sequence[str], bool]
 ) -> List[Tuple[str, float, float]]:
-    """Schedule one (graph, P) cell with every scheme (worker entry point).
-
-    Module-level so :class:`ProcessPoolExecutor` can pickle it — the
-    paper's first future-work item is parallelizing the scheduling step,
-    and sweeping cells across worker processes is the embarrassingly
-    parallel layer of that.
-    """
+    """Schedule one (graph, P) cell with every scheme (serial fast path)."""
     graph, P, bandwidth, overlap, schemes, validate = args
     cluster = Cluster(num_processors=P, bandwidth=bandwidth, overlap=overlap)
     out: List[Tuple[str, float, float]] = []
@@ -109,6 +105,64 @@ def _run_cell(
         elapsed = time.perf_counter() - t0
         if validate:
             validate_schedule(schedule, graph)
+        out.append((scheme, schedule.makespan, elapsed))
+    return out
+
+
+@dataclass(frozen=True)
+class _SweepContext:
+    """Everything a sweep worker needs, shipped once per worker.
+
+    The graphs are the heavy part of a sweep cell; shipping them through
+    the :class:`~repro.parallel.SchedulerPool` initializer means each
+    worker deserializes them once, and the per-cell work items shrink to
+    a pair of indices.
+    """
+
+    graphs: Tuple[TaskGraph, ...]
+    proc_counts: Tuple[int, ...]
+    schemes: Tuple[str, ...]
+    bandwidth: float
+    overlap: bool = True
+    validate: bool = True
+    factory: Optional[Callable[[str], object]] = field(default=None)
+
+
+def _run_cell_warm(env, gi: int, pi: int) -> List[Tuple[str, float, float]]:
+    """Schedule one (graph, P) cell in a warm pool worker.
+
+    ``env`` is the worker's :class:`~repro.parallel.WorkerEnv`; its
+    context is the :class:`_SweepContext` the pool shipped at startup and
+    its tracer is the worker's private spool (or the no-op tracer).
+    Schedulers get the spool attached, so their decision events and the
+    per-cell ``experiment_cell`` summaries reach the caller's tracer when
+    the spools are merged after the sweep.
+    """
+    ctx: _SweepContext = env.context
+    graph = ctx.graphs[gi]
+    P = ctx.proc_counts[pi]
+    cluster = Cluster(num_processors=P, bandwidth=ctx.bandwidth, overlap=ctx.overlap)
+    factory = ctx.factory or get_scheduler
+    tracer = env.tracer
+    out: List[Tuple[str, float, float]] = []
+    for scheme in ctx.schemes:
+        sched = factory(scheme)
+        if tracer.enabled:
+            sched.tracer = tracer
+        t0 = time.perf_counter()
+        schedule = sched.schedule(graph, cluster)
+        elapsed = time.perf_counter() - t0
+        if ctx.validate:
+            validate_schedule(schedule, graph)
+        if tracer.enabled:
+            tracer.event(
+                "experiment_cell",
+                graph=graph.name,
+                P=P,
+                scheme=scheme,
+                makespan=schedule.makespan,
+                elapsed_s=elapsed,
+            )
         out.append((scheme, schedule.makespan, elapsed))
     return out
 
@@ -124,21 +178,35 @@ def run_comparison(
     progress: bool = False,
     scheduler_factory: Optional[Callable[[str], object]] = None,
     workers: int = 1,
+    chunksize: Optional[int] = None,
     tracer: Optional[Tracer] = None,
 ) -> ComparisonResult:
     """Sweep every scheme over every graph and processor count.
 
     Every produced schedule is checked by the independent validator unless
     ``validate=False`` (benchmarks disable it to time the schedulers alone).
-    ``workers > 1`` fans the (graph, P) cells out over a process pool —
-    per-cell scheduling times remain accurate because each cell is timed
-    inside its worker. ``scheduler_factory`` is only supported serially.
+    ``workers > 1`` fans the (graph, P) cells out over a
+    :class:`~repro.parallel.SchedulerPool` of warm workers — graphs ship
+    once via the pool initializer, cells stream back in completion order
+    (so ``progress=True`` reports cells as they finish), and the merge
+    into the result tables is index-keyed, hence deterministic regardless
+    of completion order. *chunksize* groups that many cells per dispatch
+    (default: :func:`~repro.parallel.default_chunksize`); per-cell
+    scheduling times remain accurate because each cell is timed inside
+    its worker.
+
+    ``scheduler_factory`` may be any picklable callable — module-level
+    functions, classes, ``functools.partial`` over picklable parts.
+    Unpicklable factories (lambdas, closures) are rejected up front with
+    an :class:`ExperimentError` when ``workers > 1``.
 
     *tracer* (optional) is attached to every scheduler instance (so
     instrumented schedulers record their decision events) and receives one
-    ``experiment_cell`` event per (graph, P, scheme) run. Tracing is
-    serial-only: events from worker processes cannot reach the caller's
-    tracer, so ``workers > 1`` with a tracer is rejected.
+    ``experiment_cell`` event per (graph, P, scheme) run. With
+    ``workers > 1`` each worker records to a private JSONL spool
+    (:class:`~repro.obs.spool.SpoolTracer`); the spools are merged into
+    *tracer* — ordered by timestamp, each event exactly once — before
+    this function returns.
     """
     if not graphs:
         raise ExperimentError("run_comparison needs at least one graph")
@@ -147,15 +215,13 @@ def run_comparison(
     if not proc_counts:
         raise ExperimentError("run_comparison needs at least one processor count")
     if workers > 1 and scheduler_factory is not None:
-        raise ExperimentError(
-            "custom scheduler_factory is not picklable across workers; "
-            "use workers=1"
-        )
-    if workers > 1 and tracer is not None:
-        raise ExperimentError(
-            "tracing requires workers=1 (worker-process events cannot reach "
-            "the caller's tracer)"
-        )
+        try:
+            pickle.dumps(scheduler_factory)
+        except Exception as exc:
+            raise ExperimentError(
+                "scheduler_factory must be picklable to cross worker "
+                f"processes ({exc}); use a module-level callable or workers=1"
+            ) from exc
     factory = scheduler_factory or get_scheduler
 
     makespans: Dict[str, List[List[float]]] = {
@@ -183,11 +249,33 @@ def run_comparison(
                 )
 
     if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for (gi, pi, _), rows in zip(
-                cells, pool.map(_run_cell, [c[2] for c in cells])
-            ):
-                record(gi, pi, rows)
+        from repro.parallel import SchedulerPool
+
+        ctx = _SweepContext(
+            graphs=tuple(graphs),
+            proc_counts=tuple(proc_counts),
+            schemes=tuple(schemes),
+            bandwidth=bandwidth,
+            overlap=overlap,
+            validate=validate,
+            factory=scheduler_factory,
+        )
+        spool_dir = tempfile.mkdtemp(prefix="repro-spool-") if tracer else None
+        try:
+            items = [(gi, pi) for gi, pi, _ in cells]
+            pool = SchedulerPool(workers, context=ctx, spool_dir=spool_dir)
+            with pool:
+                for idx, rows in pool.imap_unordered(
+                    _run_cell_warm, items, chunksize=chunksize
+                ):
+                    gi, pi, _ = cells[idx]
+                    record(gi, pi, rows)
+            if tracer is not None:
+                # pool is shut down: every spool is complete and flushed
+                pool.merge_spools(tracer)
+        finally:
+            if spool_dir is not None:
+                shutil.rmtree(spool_dir, ignore_errors=True)
     else:
         for gi, pi, args in cells:
             if scheduler_factory is None and tracer is None:

@@ -35,6 +35,13 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.spool import (
+    SpoolTracer,
+    iter_spool_files,
+    merge_spool_dir,
+    merge_spool_files,
+    spool_path_for_worker,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -43,11 +50,16 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "SIM_EVENT_TYPES",
+    "SpoolTracer",
     "TimerStat",
     "Timers",
     "TraceEvent",
     "Tracer",
+    "iter_spool_files",
+    "merge_spool_dir",
+    "merge_spool_files",
     "read_jsonl",
+    "spool_path_for_worker",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

@@ -1,0 +1,132 @@
+"""Worker-side trace spooling for multi-process runs.
+
+Events recorded inside a worker process cannot reach the caller's
+in-memory :class:`~repro.obs.tracer.Tracer` directly, so parallel runs
+spool them instead: every worker writes its events to a private JSONL
+file (one :class:`~repro.obs.events.TraceEvent` per line, the same format
+as :func:`repro.obs.export.write_jsonl`), and after the pool drains the
+caller merges all spools back into its tracer with
+:func:`merge_spool_dir`.
+
+The spool file is line-buffered, so each event is durable as soon as it
+is recorded — the parent can merge after the pool shuts down without any
+explicit worker-side flush protocol.
+
+Limitations (documented, deliberate): spools carry *events* only.
+Counter bumps made via :meth:`Tracer.count` and gauges are process-local
+to the worker; event-derived counters and span timers are rebuilt on
+merge by :meth:`Tracer.absorb`. Cross-process ``perf_counter`` timestamps
+share the boot-relative monotonic clock on Linux, so merged event order
+is meaningful there but only approximate on platforms with per-process
+clock bases.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, ContextManager, Dict, Iterator, List, Union
+
+from repro.obs.events import TraceEvent
+from repro.obs.export import read_jsonl
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "SpoolTracer",
+    "spool_path_for_worker",
+    "iter_spool_files",
+    "merge_spool_files",
+    "merge_spool_dir",
+]
+
+#: filename prefix of per-worker spool files inside a spool directory
+SPOOL_PREFIX = "spool-"
+
+
+def spool_path_for_worker(spool_dir: Union[str, Path], pid: int) -> Path:
+    """Canonical spool file path for worker process *pid*."""
+    return Path(spool_dir) / f"{SPOOL_PREFIX}{pid}.jsonl"
+
+
+class SpoolTracer(Tracer):
+    """A tracer that streams events to a JSONL spool instead of memory.
+
+    Drop-in for :class:`Tracer` inside worker processes: instrumented
+    code sees ``enabled = True`` and records as usual, but events go to
+    the spool file (line-buffered append) rather than ``self.events``,
+    keeping long-lived warm workers at constant memory. Counters and
+    timers still aggregate in-process (cheap, and useful for worker-side
+    debugging) — only the event stream is externalized.
+    """
+
+    def __init__(self, path: Union[str, Path], **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # line buffering: one JSON line per event, durable immediately
+        self._fh = open(self.path, "a", encoding="utf-8", buffering=1)
+
+    def event(self, name: str, **fields: Any) -> None:
+        self._write(TraceEvent(name, self._clock(), fields))
+        self.counters.inc(name)
+
+    def _write(self, ev: TraceEvent) -> None:
+        self._fh.write(json.dumps(ev.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+
+    def span(self, name: str, **fields: Any) -> ContextManager[None]:
+        return self._spool_span(name, dict(fields))
+
+    @contextmanager
+    def _spool_span(self, name: str, fields: Dict[str, Any]) -> Iterator[None]:
+        t0 = self._clock()
+        try:
+            yield
+        finally:
+            dur = self._clock() - t0
+            self._write(TraceEvent(name, t0, fields, dur))
+            self.counters.inc(name)
+            self.timers.add(name, dur)
+
+    def close(self) -> None:
+        """Close the spool file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def iter_spool_files(spool_dir: Union[str, Path]) -> List[Path]:
+    """All spool files in *spool_dir*, sorted by name for determinism."""
+    root = Path(spool_dir)
+    if not root.is_dir():
+        return []
+    return sorted(
+        p for p in root.iterdir()
+        if p.name.startswith(SPOOL_PREFIX) and p.suffix == ".jsonl"
+    )
+
+
+def merge_spool_files(tracer: Tracer, paths: List[Path]) -> int:
+    """Absorb the events of every spool in *paths* into *tracer*.
+
+    Events are merged in global timestamp order (ties broken by file
+    order), each exactly once; returns the number of events absorbed.
+    """
+    events: List[TraceEvent] = []
+    for path in paths:
+        events.extend(read_jsonl(os.fspath(path)))
+    events.sort(key=lambda ev: ev.ts)
+    tracer.absorb(events)
+    return len(events)
+
+
+def merge_spool_dir(tracer: Tracer, spool_dir: Union[str, Path]) -> int:
+    """Merge every per-worker spool under *spool_dir* into *tracer*."""
+    return merge_spool_files(tracer, iter_spool_files(spool_dir))

@@ -68,6 +68,20 @@ class Tracer:
             self.counters.inc(name)
             self.timers.add(name, dur)
 
+    def absorb(self, events: List[TraceEvent]) -> None:
+        """Merge externally recorded *events* (e.g. worker spools) in.
+
+        Each event is appended once, its per-type counter is bumped, and
+        span events (``dur > 0``) feed the timer registry — the same
+        bookkeeping :meth:`event` and :meth:`span` perform at recording
+        time, so summaries stay consistent after a multi-process merge.
+        """
+        for ev in events:
+            self.events.append(ev)
+            self.counters.inc(ev.name)
+            if ev.dur > 0.0:
+                self.timers.add(ev.name, ev.dur)
+
     # -- inspection --------------------------------------------------------------
 
     def events_by_type(self) -> Dict[str, int]:
@@ -116,6 +130,9 @@ class NullTracer(Tracer):
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def absorb(self, events: List[TraceEvent]) -> None:
         pass
 
     def span(self, name: str, **fields: Any) -> ContextManager[None]:

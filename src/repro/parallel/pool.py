@@ -1,0 +1,201 @@
+""":class:`SchedulerPool` — a persistent warm worker pool.
+
+The scheduling workloads this repo parallelizes share one shape: a large
+immutable context (task graphs, a cluster, scheduler configuration) and a
+stream of small work items against it. A bare
+:class:`~concurrent.futures.ProcessPoolExecutor` forces that context
+through pickle *per task*; :class:`SchedulerPool` instead ships it to
+every worker exactly once through the pool initializer, keeps the worker
+processes alive across work items ("warm" — worker-local caches such as
+LoCBS memos and :class:`~repro.schedulers.costcache.CostCache` instances
+persist between items), and layers three things on top:
+
+* **streaming dispatch** — :meth:`imap_unordered` yields ``(index,
+  result)`` pairs in completion order via :func:`as_completed`, so
+  callers can report progress as cells finish instead of stalling behind
+  the slowest early submission;
+* **chunked submission** — items are grouped into chunks of
+  ``chunksize`` per future, bounding per-item IPC overhead on large
+  sweeps;
+* **tracer spooling** — given a ``spool_dir``, every worker records its
+  trace events to a private JSONL spool
+  (:class:`~repro.obs.spool.SpoolTracer`); after shutdown the caller
+  merges them with :meth:`merge_spools`.
+
+Worker task functions must be module-level (picklable by reference) and
+take the worker's :class:`WorkerEnv` as their first argument::
+
+    def cell(env, gi, P):
+        graph = env.context.graphs[gi]
+        ...
+
+    with SchedulerPool(4, context=ctx) as pool:
+        for idx, rows in pool.imap_unordered(cell, items, chunksize=8):
+            ...
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["WorkerEnv", "SchedulerPool", "default_chunksize"]
+
+
+class WorkerEnv:
+    """What a worker-side task function sees: shared context + tracer.
+
+    ``context`` is the object the pool shipped once at worker start;
+    ``tracer`` is a per-worker :class:`~repro.obs.spool.SpoolTracer` when
+    the pool was created with a ``spool_dir`` and the shared no-op tracer
+    otherwise. ``state`` is a scratch dict for worker-local warm caches
+    (preserved across work items, never sent anywhere).
+    """
+
+    __slots__ = ("context", "tracer", "state")
+
+    def __init__(self, context: Any, tracer: Tracer) -> None:
+        self.context = context
+        self.tracer = tracer
+        self.state: dict = {}
+
+
+#: the per-process environment, set by the pool initializer
+_WORKER_ENV: Optional[WorkerEnv] = None
+
+
+def _init_worker(context: Any, spool_dir: Optional[str]) -> None:
+    """Pool initializer: build this worker's :class:`WorkerEnv` once."""
+    global _WORKER_ENV
+    tracer: Tracer = NULL_TRACER
+    if spool_dir is not None:
+        from repro.obs.spool import SpoolTracer, spool_path_for_worker
+
+        tracer = SpoolTracer(spool_path_for_worker(spool_dir, os.getpid()))
+    _WORKER_ENV = WorkerEnv(context, tracer)
+
+
+def _invoke(fn: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
+    """Run one task against the worker environment."""
+    assert _WORKER_ENV is not None, "SchedulerPool worker not initialized"
+    return fn(_WORKER_ENV, *args)
+
+
+def _invoke_chunk(
+    fn: Callable[..., Any], chunk: List[Tuple[int, Tuple[Any, ...]]]
+) -> List[Tuple[int, Any]]:
+    """Run a chunk of indexed tasks; returns ``[(index, result), ...]``."""
+    assert _WORKER_ENV is not None, "SchedulerPool worker not initialized"
+    return [(i, fn(_WORKER_ENV, *args)) for i, args in chunk]
+
+
+def default_chunksize(num_items: int, workers: int) -> int:
+    """A chunk size giving every worker ~4 chunks (load balance vs IPC)."""
+    return max(1, -(-num_items // (workers * 4)))
+
+
+class SchedulerPool:
+    """Persistent process pool with a ship-once context and warm workers."""
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        context: Any = None,
+        spool_dir: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.spool_dir = spool_dir
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(context, spool_dir),
+        )
+        self._closed = False
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Submit one ``fn(env, *args)`` call; returns its future."""
+        return self._executor.submit(_invoke, fn, args)
+
+    def imap_unordered(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Tuple[Any, ...]],
+        *,
+        chunksize: Optional[int] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Run ``fn(env, *item)`` for every item, yielding as they finish.
+
+        Yields ``(item_index, result)`` in *completion* order — callers
+        that need submission order index into a result list (the indices
+        form a deterministic merge regardless of completion order).
+        Chunks of ``chunksize`` items ride each future (default:
+        :func:`default_chunksize`).
+        """
+        if chunksize is None:
+            chunksize = default_chunksize(len(items), self.workers)
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        indexed = list(enumerate(tuple(it) for it in items))
+        futures = [
+            self._executor.submit(
+                _invoke_chunk, fn, indexed[lo : lo + chunksize]
+            )
+            for lo in range(0, len(indexed), chunksize)
+        ]
+        for fut in as_completed(futures):
+            for idx, result in fut.result():
+                yield idx, result
+
+    def map_ordered(
+        self,
+        fn: Callable[..., Any],
+        items: Sequence[Tuple[Any, ...]],
+        *,
+        chunksize: Optional[int] = None,
+    ) -> List[Any]:
+        """Like :meth:`imap_unordered` but returns results in item order."""
+        out: List[Any] = [None] * len(items)
+        for idx, result in self.imap_unordered(fn, items, chunksize=chunksize):
+            out[idx] = result
+        return out
+
+    # -- spools ------------------------------------------------------------------
+
+    def merge_spools(self, tracer: Tracer) -> int:
+        """Merge every worker spool into *tracer*; returns events merged.
+
+        Spool files are line-buffered in the workers, so this is safe
+        after the submitted work has completed; call after
+        :meth:`shutdown` (or the ``with`` block) for a guaranteed-final
+        merge.
+        """
+        if self.spool_dir is None:
+            return 0
+        from repro.obs.spool import merge_spool_dir
+
+        return merge_spool_dir(tracer, self.spool_dir)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Shut the pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "SchedulerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SchedulerPool(workers={self.workers}, closed={self._closed})"

@@ -1,0 +1,540 @@
+"""Speculative look-ahead memo prefill for LoC-MPS.
+
+The LoC-MPS outer loop is trial-evaluation-bound: nearly all of its wall
+clock goes into LoCBS passes, one per unseen allocation vector, and the
+walk that requests them is strictly serial. Three structural facts make
+those passes prefetchable without changing a single committed decision:
+
+1. **Chains are closed over their entry.** Inside one outer iteration
+   the look-ahead walks up to ``look_ahead_depth`` steps; each step's
+   candidate is a deterministic function of the previous step's LoCBS
+   result, the running allocation, and (at step 0 only) the banned set.
+   The incumbent-best makespan influences only what gets *committed*,
+   never which allocations get *visited* — so the whole chain of
+   allocation vectors is determined by ``(start allocation, step-0
+   banned set)``.
+2. **Restarts are enumerable.** When a look-ahead fails to improve, its
+   entry point is marked and the next outer iteration restarts from the
+   same committed allocation with the entry banned. Applying the
+   scheduler's own candidate selection under progressively grown banned
+   sets therefore enumerates the entries — task-growth and edge-growth
+   branches alike — of the next several outer iterations before they
+   run.
+3. **Outcomes are computable in place.** Whether an iteration commits
+   (improves on the incumbent) or marks its entry is decided by the
+   makespans along its own chain, so the worker that walked the chain
+   knows the outcome — and on a commit can continue straight into the
+   post-commit iteration (new start allocation, cleared banned set)
+   without a round-trip through the caller.
+
+The :class:`LookaheadPrefetcher` exploits all three. At the start of
+every outer iteration it predicts the next ``window`` chains and hands
+them to warm worker processes; each worker walks its chain with the
+scheduler's own selection methods (the code is shared, not transcribed),
+**streaming every (allocation key, LoCBS result) pair back as it is
+computed** so the serial walk waits for at most one pass, not a batch.
+Chain requests carry the start allocation's LoCBS result, so sibling
+chains — which share exactly their start state and nothing else — never
+recompute it.
+
+Stale speculation is fenced by one process-shared 64-bit word packing
+``(commit count, CRC of the committed start allocation)``. A commit
+bumps the count, invalidating the old epoch's fail-restart predictions;
+the improving worker's self-continuation carries the incremented count
+and the new start's CRC and survives, while a *ghost* continuation —
+a speculatively walked chain whose improvement never got committed —
+mismatches the CRC and is abandoned at the next pass boundary.
+
+Because LoCBS is deterministic per allocation vector, a worker-computed
+result is exactly the result the serial walk would have computed — the
+committed schedule is provably identical, and the golden fingerprint
+suite enforces it. Speculation is *advisory*: a missed prediction, an
+abandoned chain, or a dead worker only costs a local (in-process) LoCBS
+pass.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+__all__ = ["PrefillContext", "LookaheadPrefetcher", "new_prefill_stats"]
+
+AllocKey = Tuple[int, ...]
+BannedSet = FrozenSet[Hashable]
+#: a chain is identified by where it starts and what its step 0 may not touch
+ChainId = Tuple[AllocKey, BannedSet]
+
+#: seconds between liveness checks while waiting on the current chain
+_POLL_S = 0.05
+
+#: fetch watchdog — no message of any kind for this long while a chain
+#: is supposedly being walked means a lost message, not a slow pass
+_STALL_TIMEOUT_S = 60.0
+#: epoch counter that no real run reaches; published on close to stop walkers
+_SHUTDOWN_REV = 0xFFFFFFFF
+
+
+def _crc(key: AllocKey) -> int:
+    """Deterministic (cross-process) 32-bit fingerprint of an alloc key."""
+    return zlib.crc32(repr(key).encode("ascii"))
+
+
+def _pack(rev: int, key: AllocKey) -> int:
+    """Pack ``(commit count, start-key CRC)`` into one atomic 64-bit word."""
+    return ((rev & 0xFFFFFFFF) << 32) | _crc(key)
+
+
+@dataclass(frozen=True)
+class PrefillContext:
+    """Everything a prefill worker needs, shipped once per worker.
+
+    ``scheduler_kwargs`` reconstructs a *serial* clone of the calling
+    :class:`~repro.schedulers.locmps.LocMpsScheduler` (same look-ahead
+    depth, growth policy, ablation switches, and pinned
+    :class:`~repro.schedulers.context.SchedulingContext`), so worker-side
+    candidate selection and LoCBS passes replay the caller's exact
+    configuration.
+    """
+
+    graph: Any
+    cluster: Any
+    scheduler_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+def new_prefill_stats() -> Dict[str, int]:
+    """A zeroed prefill-telemetry dict (see ``LocMpsScheduler.prefill_stats``)."""
+    return {
+        "chains_submitted": 0,
+        "chains_completed": 0,
+        "chains_cancelled": 0,
+        "chain_errors": 0,
+        "speculative_results": 0,
+        "prefill_hits": 0,
+        "prefill_unused": 0,
+        "local_fallbacks": 0,
+    }
+
+
+# -- worker side -----------------------------------------------------------------
+
+
+class _ChainWorker:
+    """Per-worker warm state: a serial scheduler clone and a local memo."""
+
+    def __init__(self, ctx: PrefillContext) -> None:
+        from repro.schedulers.costcache import CostCache
+        from repro.schedulers.locmps import LocMpsScheduler
+
+        self.graph = ctx.graph
+        self.cluster = ctx.cluster
+        self.scheduler = LocMpsScheduler(**dict(ctx.scheduler_kwargs))
+        # one warm cost cache for the lifetime of the worker — successive
+        # chains revisit mostly-identical allocations, exactly the reuse
+        # pattern the cache exists for
+        self.scheduler._cost_cache = CostCache(
+            ctx.cluster, transfer_limit=self.scheduler.cost_cache_limit
+        )
+        self.tasks: List[str] = ctx.graph.tasks()
+        self.cr, self.limits = self.scheduler._static_tables(
+            ctx.graph, ctx.cluster
+        )
+        self.memo: Dict[AllocKey, Any] = {}
+        #: keys already streamed to the caller (never resent)
+        self.sent: Set[AllocKey] = set()
+
+    def remember(self, key: AllocKey, result: Any) -> None:
+        limit = self.scheduler.memo_limit
+        if key not in self.memo and limit is not None and len(self.memo) >= limit:
+            del self.memo[next(iter(self.memo))]
+        self.memo[key] = result
+
+    def schedule_for(self, alloc: Dict[str, int]) -> Tuple[AllocKey, Any]:
+        key = tuple(alloc[t] for t in self.tasks)
+        result = self.memo.get(key)
+        if result is None:
+            result = self.scheduler._schedule(self.graph, self.cluster, alloc)
+            self.remember(key, result)
+        return key, result
+
+
+def _stale(state_word: int, rev: int, start_crc: int) -> bool:
+    """Should a chain at ``(rev, start)`` abandon, given the published word?
+
+    * published commit count ahead of the chain's — the chain belongs to
+      a dead epoch;
+    * counts equal but the start CRC differs — the chain is a *ghost*:
+      a speculative self-continuation into a state that was never
+      committed;
+    * published count behind — the chain is legitimately running ahead
+      of the caller (a fresh self-continuation); keep walking.
+    """
+    pub_rev = state_word >> 32
+    if pub_rev != rev:
+        return pub_rev > rev
+    return (state_word & 0xFFFFFFFF) != start_crc
+
+
+def _worker_main(
+    ctx: PrefillContext,
+    work_q: Any,
+    results_q: Any,
+    state: Any,
+) -> None:
+    """Worker process: walk chains from ``work_q``, stream results back.
+
+    Message protocol (worker -> caller), all on ``results_q``:
+
+    * ``("res", key, payload)`` — one freshly computed LoCBS pass,
+      *pre-pickled* (see below);
+    * ``("done", chain_id, aborted)`` — the chain ended; ``aborted``
+      marks stale abandonment (the walk may be partial);
+    * ``("err", chain_id, message)`` — the chain raised; the caller
+      falls back to local passes for whatever the chain did not cover.
+
+    Schedule payloads cross the queue as ``pickle.dumps`` bytes produced
+    synchronously by the sending thread. ``mp.Queue.put`` pickles in a
+    background feeder thread, and both sender sides keep mutating state
+    reachable from a live Schedule right after enqueueing it (the caller
+    resumes its walk, the worker starts the next pass) — letting the
+    feeder pickle the object races with those mutations ("dictionary
+    changed size during iteration") and silently drops the message.
+    """
+    from repro.schedulers.locmps import _IMPROVE_RTOL
+
+    worker = _ChainWorker(ctx)
+    sched = worker.scheduler
+    P = worker.cluster.num_processors
+
+    while True:
+        item = work_q.get()
+        if item is None:
+            return
+        rev, start_key, banned, start_payload = item
+        if start_payload is not None:
+            worker.remember(start_key, pickle.loads(start_payload))
+        chain_id: ChainId = (start_key, banned)
+        start_crc = _crc(start_key)
+        if _stale(state.value, rev, start_crc):
+            # prediction superseded by a commit before it even started
+            results_q.put(("done", chain_id, True))
+            continue
+        try:
+            while True:  # chain + self-continuations across commits
+                alloc = dict(zip(worker.tasks, start_key))
+                _, cur = worker.schedule_for(alloc)
+                old_sl = best_sl = cur.makespan
+                best_key = start_key
+                aborted = False
+                for iter_cnt in range(sched.look_ahead_depth):
+                    if _stale(state.value, rev, start_crc):
+                        aborted = True
+                        break
+                    step_banned = banned if iter_cnt == 0 else frozenset()
+                    candidate, _dominated = sched._next_candidate(
+                        cur, worker.graph, worker.cluster, alloc,
+                        worker.limits, worker.cr, step_banned,
+                    )
+                    if candidate is None:
+                        break
+                    sched._apply_growth(candidate, alloc, P)
+                    key, cur = worker.schedule_for(alloc)
+                    if key not in worker.sent:
+                        worker.sent.add(key)
+                        results_q.put(
+                            ("res", key, pickle.dumps(cur, pickle.HIGHEST_PROTOCOL))
+                        )
+                    if cur.makespan < best_sl * (1.0 - _IMPROVE_RTOL):
+                        best_sl = cur.makespan
+                        best_key = key
+                results_q.put(("done", chain_id, aborted))
+                if aborted:
+                    break
+                if best_sl >= old_sl * (1.0 - _IMPROVE_RTOL):
+                    break  # iteration fails: its restart is someone else's chain
+                # The iteration commits: continue into the post-commit
+                # iteration (new start, cleared marks) under the next
+                # commit count — exactly what the caller will ask for next.
+                rev += 1
+                start_key, banned = best_key, frozenset()
+                chain_id = (start_key, banned)
+                start_crc = _crc(start_key)
+                if _stale(state.value, rev, start_crc):
+                    break
+        except Exception as exc:  # noqa: BLE001 - forwarded, never fatal
+            results_q.put(("err", chain_id, f"{type(exc).__name__}: {exc}"))
+
+
+# -- caller side -----------------------------------------------------------------
+
+
+class LookaheadPrefetcher:
+    """Keeps the next few look-ahead chains streaming from warm workers.
+
+    Owned by one ``LocMpsScheduler.run`` invocation. The contract with
+    the serial walk:
+
+    * :meth:`plan` is called at the top of every outer iteration with
+      the committed state; it detects commits (publishing the new
+      epoch), predicts the chains of this and the next few iterations
+      (growing banned sets), and tops the submission window up.
+    * :meth:`fetch` is called on a memo miss; it returns the
+      worker-computed result if speculation covered the key — waiting,
+      when the current iteration's chain is assigned to a worker, for at
+      most one streamed pass at a time — or ``None``, in which case the
+      caller computes locally.
+    * :meth:`close` stops the workers and accounts unused results.
+    """
+
+    def __init__(
+        self,
+        scheduler: Any,
+        graph: Any,
+        cluster: Any,
+        *,
+        workers: int,
+        stats: Optional[Dict[str, int]] = None,
+        window: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._scheduler = scheduler
+        self._graph = graph
+        self._cluster = cluster
+        self._tasks: List[str] = graph.tasks()
+        self._cr, self._limits = scheduler._static_tables(graph, cluster)
+        #: chains kept in flight; one per worker keeps every process busy
+        #: without over-speculating past the next replan point
+        self._window = window if window is not None else workers
+        self.stats = stats if stats is not None else new_prefill_stats()
+
+        ctx = PrefillContext(
+            graph=graph,
+            cluster=cluster,
+            scheduler_kwargs=scheduler._config_kwargs(),
+        )
+        mp_ctx = mp.get_context()
+        self._work_q = mp_ctx.Queue()
+        self._results_q = mp_ctx.Queue()
+        self._state = mp_ctx.Value("Q", _pack(0, ()), lock=False)
+        self._procs = [
+            mp_ctx.Process(
+                target=_worker_main,
+                args=(ctx, self._work_q, self._results_q, self._state),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
+        for p in self._procs:
+            p.start()
+
+        self._rev = 0
+        self._store: Dict[AllocKey, Any] = {}
+        self._inflight: Set[ChainId] = set()
+        #: chains fully walked (non-aborted) — their results are all in
+        #: the store or already consumed; never resubmitted
+        self._finished: Set[ChainId] = set()
+        self._current: Optional[ChainId] = None
+        self._cur_id: Optional[ChainId] = None
+        self._last_start: Optional[AllocKey] = None
+        self._broken = False
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(
+        self,
+        best_result: Any,
+        best_alloc: Mapping[str, int],
+        marked: FrozenSet[Hashable],
+    ) -> None:
+        """Reconcile with the committed state and top the window up.
+
+        The first predicted chain is the one the *current* outer
+        iteration is about to walk; the rest assume it (and each
+        successor) fails and gets its entry marked — the common regime
+        near convergence. A commit starts a new epoch: publishing it
+        makes workers abandon the stale tail predictions between passes,
+        while the worker that walked the improving chain — if it got to
+        the end of it — has already continued into the post-commit chain
+        under the new epoch, so that chain is recorded as in flight
+        rather than resubmitted. If the caller outran the improving
+        worker (its results arrived via other chains), the worker will
+        abandon mid-chain instead of continuing, and the post-commit
+        chain is submitted explicitly like any other.
+        """
+        self._drain_nowait()
+        start_key = tuple(best_alloc[t] for t in self._tasks)
+        banned0 = frozenset(marked)
+        if self._last_start is not None and start_key != self._last_start:
+            # A commit happened since the previous iteration.
+            self._rev += 1
+            if self._cur_id is not None and self._cur_id in self._finished:
+                # logical submission: the improving worker self-continued
+                self._inflight.add((start_key, frozenset()))
+                self.stats["chains_submitted"] += 1
+        self._last_start = start_key
+        self._state.value = _pack(self._rev, start_key)
+
+        probe_alloc = dict(best_alloc)
+        banned = set(banned0)
+        wanted: List[ChainId] = []
+        for _ in range(self._window):
+            wanted.append((start_key, frozenset(banned)))
+            candidate, _dominated = self._scheduler._next_candidate(
+                best_result, self._graph, self._cluster, probe_alloc,
+                self._limits, self._cr, frozenset(banned),
+            )
+            if candidate is None:
+                break
+            banned.add(
+                candidate if isinstance(candidate, str) else tuple(candidate)
+            )
+        payload: Optional[bytes] = None
+        for chain_id in wanted:
+            if chain_id in self._inflight or chain_id in self._finished:
+                continue
+            if payload is None:
+                # serialized here, in the quiescent main thread, so the
+                # queue's feeder thread never pickles a Schedule the
+                # resumed walk is concurrently mutating
+                payload = pickle.dumps(best_result, pickle.HIGHEST_PROTOCOL)
+            self._work_q.put((self._rev, chain_id[0], chain_id[1], payload))
+            self._inflight.add(chain_id)
+            self.stats["chains_submitted"] += 1
+        cur_id: ChainId = (start_key, banned0)
+        self._cur_id = cur_id
+        self._current = cur_id if cur_id in self._inflight else None
+
+    # -- consumption -------------------------------------------------------------
+
+    def _handle(self, msg: Tuple[Any, ...]) -> None:
+        kind = msg[0]
+        if kind == "res":
+            _, key, payload = msg
+            if key not in self._store:
+                self._store[key] = pickle.loads(payload)
+                self.stats["speculative_results"] += 1
+        elif kind == "done":
+            _, chain_id, aborted = msg
+            self._inflight.discard(chain_id)
+            if aborted:
+                self.stats["chains_cancelled"] += 1
+            else:
+                self._finished.add(chain_id)
+                self.stats["chains_completed"] += 1
+            if chain_id == self._current:
+                self._current = None
+        elif kind == "err":
+            _, chain_id, _text = msg
+            self._inflight.discard(chain_id)
+            self._finished.add(chain_id)
+            self.stats["chain_errors"] += 1
+            if chain_id == self._current:
+                self._current = None
+
+    def _drain_nowait(self) -> None:
+        while True:
+            try:
+                self._handle(self._results_q.get_nowait())
+            except queue_mod.Empty:
+                return
+
+    def _fleet_healthy(self) -> bool:
+        # A single dead worker may own the chain being waited on, and its
+        # done-marker will never come — any crash degrades to local.
+        return all(p.is_alive() for p in self._procs)
+
+    def fetch(self, key: AllocKey) -> Optional[Any]:
+        """The worker-computed result for *key*, or ``None`` to go local.
+
+        While the current iteration's chain is worker-assigned, results
+        stream in pass by pass, so the wait per miss is bounded by one
+        LoCBS pass — the lockstep worst case costs serial speed, never
+        more. Once the chain reports done (or errors, or a worker dies,
+        or the stream stalls outright), remaining misses fall back to
+        local passes.
+        """
+        self._drain_nowait()
+        last_msg = time.monotonic()
+        while key not in self._store and self._current is not None:
+            if self._broken:
+                break
+            try:
+                self._handle(self._results_q.get(timeout=_POLL_S))
+                last_msg = time.monotonic()
+            except queue_mod.Empty:
+                if not self._fleet_healthy():
+                    # crashed worker: degrade to fully-local scheduling
+                    self._broken = True
+                    self._current = None
+                elif time.monotonic() - last_msg > _STALL_TIMEOUT_S:
+                    # watchdog: a walked chain streams something at least
+                    # once per pass; total silence means the protocol
+                    # lost a message — degrade rather than wait forever
+                    self._broken = True
+                    self._current = None
+        result = self._store.pop(key, None)
+        if result is not None:
+            self.stats["prefill_hits"] += 1
+        else:
+            self.stats["local_fallbacks"] += 1
+        return result
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers, drain the stream, account unused results."""
+        # published shutdown epoch: walkers abandon at the next pass
+        self._state.value = _pack(_SHUTDOWN_REV, ())
+        try:
+            for _ in self._procs:
+                self._work_q.put(None)
+        except (OSError, ValueError):  # pragma: no cover - queue torn down
+            pass
+        # Drain *while* waiting for clean exits: a worker flushing results
+        # into a full pipe cannot exit until someone reads them, so a
+        # join-without-drain would time out and the terminate() below
+        # could tear a half-written message — after which any further
+        # queue read blocks forever in recv_bytes. Keeping the pipe empty
+        # lets every worker leave on its own.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            self._drain_nowait()
+            if not any(p.is_alive() for p in self._procs):
+                break
+            time.sleep(_POLL_S)
+        if any(p.is_alive() for p in self._procs):  # pragma: no cover - stuck worker
+            for p in self._procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in self._procs:
+                p.join(timeout=1.0)
+            # no more queue reads: terminate() may have torn a message
+        else:
+            self._drain_nowait()
+        self.stats["prefill_unused"] += len(self._store)
+        self._store.clear()
+        for q in (self._work_q, self._results_q):
+            q.close()
+            q.cancel_join_thread()
+
+    def __enter__(self) -> "LookaheadPrefetcher":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

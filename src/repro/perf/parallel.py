@@ -1,0 +1,182 @@
+"""Serial-vs-parallel LoC-MPS benchmarks → ``BENCH_parallel.json``.
+
+Runs every hot-path suite (:func:`repro.perf.hotpath.build_suites`) twice
+— once with the serial scheduler and once with
+``LocMpsScheduler(parallel_workers=jobs)``, the speculative look-ahead
+prefill backend of :mod:`repro.parallel.speculate` — and reports
+wall-clock, speedup, and the prefill telemetry (chains submitted /
+consumed / cancelled, prefill hit rate).
+
+Two invariants are *checked*, not assumed:
+
+* **identity per suite** — the parallel arm's makespans and placement
+  digests must equal the serial arm's exactly (speculation may only
+  accelerate the walk, never change it);
+* **identity vs the golden file** — ``LocMpsScheduler(parallel_workers=
+  jobs)`` is fingerprinted over every :func:`repro.perf.golden
+  .golden_cases` case and diffed against the stored serial ``locmps``
+  entries in ``tests/golden/scheduler_golden.json``.
+
+Speedup, by contrast, is *measured and recorded*, not asserted: it is a
+property of the hardware as much as of the code. Speculation converts
+idle cores into prefetched LoCBS passes, so the parallel arm needs at
+least ``jobs`` free cores to win; on fewer cores (the recorded
+``cpu.affinity`` says how many this run had) the same run stays
+bit-identical but pays oversubscription overhead instead of gaining
+wall-clock. ``python -m repro.perf parallel`` exits non-zero only on
+identity drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.perf.golden import GOLDEN_PATH, golden_cases, schedule_digest
+from repro.perf.hotpath import SuiteSpec, build_suites
+from repro.schedulers.locmps import LocMpsScheduler
+
+__all__ = [
+    "SCHEMA",
+    "available_parallelism",
+    "run_suite_parallel",
+    "check_parallel_golden",
+    "run_parallel",
+]
+
+SCHEMA = "repro.perf.parallel/v1"
+
+
+def available_parallelism() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_arm(
+    scheduler: LocMpsScheduler, spec: SuiteSpec, graphs
+) -> Dict[str, object]:
+    wall = 0.0
+    makespans: List[float] = []
+    digests: List[str] = []
+    for graph in graphs:
+        schedule = scheduler.schedule(graph, spec.cluster)
+        wall += schedule.scheduling_time
+        makespans.append(schedule.makespan)
+        digests.append(schedule_digest(schedule))
+    return {"wall_s": wall, "makespans": makespans, "digests": digests}
+
+
+def run_suite_parallel(spec: SuiteSpec, *, jobs: int) -> Dict[str, object]:
+    """Time one suite serial vs ``parallel_workers=jobs``; verify identity."""
+    graphs = spec.graph_factory()
+    kwargs = dict(spec.scheduler_kwargs or {})
+    serial = _run_arm(LocMpsScheduler(**kwargs), spec, graphs)
+    par_sched = LocMpsScheduler(parallel_workers=jobs, **kwargs)
+    parallel = _run_arm(par_sched, spec, graphs)
+    prefill = dict(par_sched.prefill_stats)
+    misses = par_sched.memo_stats["misses"]
+    parallel["prefill"] = prefill
+    parallel["prefill_hit_rate"] = (
+        prefill["prefill_hits"] / misses if misses else 0.0
+    )
+    return {
+        "name": spec.name,
+        "description": spec.description,
+        "num_graphs": len(graphs),
+        "tasks_total": sum(g.num_tasks for g in graphs),
+        "processors": spec.cluster.num_processors,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": (
+            serial["wall_s"] / parallel["wall_s"]
+            if parallel["wall_s"] > 0
+            else float("inf")
+        ),
+        "identical": (
+            serial["makespans"] == parallel["makespans"]
+            and serial["digests"] == parallel["digests"]
+        ),
+    }
+
+
+def check_parallel_golden(
+    jobs: int, path: Union[str, Path] = GOLDEN_PATH
+) -> List[str]:
+    """Diff ``LocMpsScheduler(parallel_workers=jobs)`` against the golden file.
+
+    The stored entries were produced by the *serial* scheduler, so any
+    mismatch means speculation changed a committed schedule. Returns
+    human-readable problem strings (empty = bit-identical).
+    """
+    stored = json.loads(Path(path).read_text())["cases"]
+    problems: List[str] = []
+    for case_id, graph, cluster in golden_cases():
+        if case_id not in stored or "locmps" not in stored[case_id]:
+            problems.append(f"{case_id}: no stored locmps entry")
+            continue
+        schedule = LocMpsScheduler(parallel_workers=jobs).schedule(graph, cluster)
+        want = stored[case_id]["locmps"]
+        got = {
+            "makespan": repr(schedule.makespan),
+            "digest": schedule_digest(schedule),
+        }
+        if got != want:
+            problems.append(
+                f"{case_id}/locmps: parallel output drifted from serial "
+                f"golden (makespan {want['makespan']} -> {got['makespan']}, "
+                f"digest {want['digest'][:10]} -> {got['digest'][:10]})"
+            )
+    return problems
+
+
+def run_parallel(
+    *,
+    scale: str = "full",
+    jobs: int = 4,
+    golden_path: Union[str, Path] = GOLDEN_PATH,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run every suite and return the full ``BENCH_parallel.json`` document."""
+    if jobs < 2:
+        raise ValueError(f"jobs must be >= 2 to engage speculation, got {jobs}")
+    suites: List[Dict[str, object]] = []
+    for spec in build_suites(scale):
+        if progress is not None:
+            progress(f"running {spec.name} (serial vs {jobs} workers) ...")
+        suites.append(run_suite_parallel(spec, jobs=jobs))
+    if progress is not None:
+        progress("checking parallel output against golden fingerprints ...")
+    golden_problems = check_parallel_golden(jobs, golden_path)
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "jobs": jobs,
+        "cpu": {
+            "count": os.cpu_count(),
+            "affinity": available_parallelism(),
+        },
+        "methodology": (
+            "Per suite, each arm schedules every graph once on a cold "
+            "scheduler instance; wall_s sums Schedule.scheduling_time. "
+            "'serial' is plain LocMpsScheduler; 'parallel' adds "
+            "parallel_workers=jobs (speculative look-ahead memo prefill: "
+            "warm workers walk predicted look-ahead chains and stream "
+            "LoCBS results ahead of the serial walk). identical = exact "
+            "makespan and placement-digest equality per graph; "
+            "golden_identical additionally diffs the parallel scheduler "
+            "against the checked-in serial golden fingerprints. Speedup "
+            "requires >= jobs free cores (see cpu.affinity): speculation "
+            "trades idle-core time for prefetched passes, and on fewer "
+            "cores it degrades gracefully to oversubscription overhead "
+            "with unchanged output."
+        ),
+        "suites": suites,
+        "identical": all(s["identical"] for s in suites),
+        "golden_identical": not golden_problems,
+        "golden_problems": golden_problems,
+    }

@@ -28,6 +28,7 @@ from repro.cluster import Cluster
 from repro.exceptions import ScheduleError
 from repro.graph import TaskGraph, concurrency_ratio
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.speculate import new_prefill_stats
 from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.schedulers.context import SchedulingContext
 from repro.schedulers.costcache import CostCache
@@ -88,6 +89,18 @@ class LocMpsScheduler(Scheduler):
         allocations. Cumulative hit/miss/eviction statistics are exposed
         on :attr:`memo_stats` and as ``memo_hit``/``memo_miss`` trace
         events.
+    parallel_workers:
+        ``None`` or ``1`` (default) schedules serially. ``N >= 2`` spins
+        up a warm pool of ``N`` worker processes per :meth:`run` that
+        speculatively trial-schedule the allocation vectors the serial
+        allocation walk is about to request (banned-set restarts and the
+        current look-ahead chain; see
+        :mod:`repro.parallel.speculate`) and feed the per-run memo. The
+        committed schedule is bit-identical to a serial run — LoCBS is
+        deterministic per allocation vector, and the golden fingerprint
+        suite enforces it. Telemetry lands in :attr:`prefill_stats`.
+        Worth it for large graphs/machines where LoCBS passes dominate;
+        for small problems pool startup outweighs the win.
     cost_cache_limit:
         Upper bound on the run-scoped :class:`CostCache`'s concrete
         transfer-time memo (cleared wholesale when full). ``None``
@@ -117,6 +130,7 @@ class LocMpsScheduler(Scheduler):
         context: Optional["SchedulingContext"] = None,
         memo_limit: Optional[int] = None,
         cost_cache_limit: Optional[int] = None,
+        parallel_workers: Optional[int] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         if look_ahead_depth < 1:
@@ -133,6 +147,10 @@ class LocMpsScheduler(Scheduler):
             raise ValueError(
                 f"cost_cache_limit must be >= 1 or None, got {cost_cache_limit}"
             )
+        if parallel_workers is not None and parallel_workers < 1:
+            raise ValueError(
+                f"parallel_workers must be >= 1 or None, got {parallel_workers}"
+            )
         self.look_ahead_depth = look_ahead_depth
         self.top_fraction = top_fraction
         self.backfill = backfill
@@ -145,6 +163,7 @@ class LocMpsScheduler(Scheduler):
         self.context = context
         self.memo_limit = memo_limit
         self.cost_cache_limit = cost_cache_limit
+        self.parallel_workers = parallel_workers
         self.tracer = tracer or NULL_TRACER
         #: cumulative allocation-memo telemetry across every run() of this
         #: instance: hits, misses, evictions, peak_size, last run's size
@@ -158,11 +177,38 @@ class LocMpsScheduler(Scheduler):
             "transfer_hits": 0, "transfer_misses": 0, "transfer_clears": 0,
             "graph_hits": 0, "graph_misses": 0,
         }
+        #: cumulative speculative-prefill telemetry across every run()
+        #: (all zeros unless ``parallel_workers`` enables speculation):
+        #: chains submitted/completed/cancelled/errored, speculative LoCBS
+        #: results received, memo misses served by prefill vs computed
+        #: locally, and speculative results never consumed
+        self.prefill_stats: Dict[str, int] = new_prefill_stats()
         #: the run-scoped cost cache while run() is active (None otherwise);
         #: _schedule threads it into every look-ahead LoCBS call
         self._cost_cache: Optional[CostCache] = None
         if not backfill:
             self.name = "locmps-nobackfill"
+
+    def _config_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs reproducing this scheduler's decisions.
+
+        Used to build *serial* clones in speculative prefill workers:
+        everything that influences candidate selection or LoCBS output is
+        included; ``parallel_workers`` and ``tracer`` deliberately are
+        not (workers never recurse or trace).
+        """
+        return {
+            "look_ahead_depth": self.look_ahead_depth,
+            "top_fraction": self.top_fraction,
+            "backfill": self.backfill,
+            "comm_blind": self.comm_blind,
+            "max_outer_iterations": self.max_outer_iterations,
+            "locality_blind": self.locality_blind,
+            "edge_growth": self.edge_growth,
+            "context": self.context,
+            "memo_limit": self.memo_limit,
+            "cost_cache_limit": self.cost_cache_limit,
+        }
 
     # -- scheduling engine -------------------------------------------------------
 
@@ -251,6 +297,71 @@ class LocMpsScheduler(Scheduler):
             return None
         return best[1], best[2]
 
+    def _static_tables(
+        self, graph: TaskGraph, cluster: Cluster
+    ) -> Tuple[Dict[str, float], Dict[str, int]]:
+        """Per-task concurrency ratios and width limits (fixed per run).
+
+        Shared by :meth:`run` and the speculative prefill workers so both
+        rank candidates from identical tables.
+        """
+        P = cluster.num_processors
+        g = graph.nx_graph()
+        cr = {
+            t: concurrency_ratio(g, t, graph.sequential_time)
+            for t in graph.tasks()
+        }
+        limits = {
+            t: min(P, graph.task(t).profile.pbest(P)) for t in graph.tasks()
+        }
+        return cr, limits
+
+    def _next_candidate(
+        self,
+        cur_result: SchedulingResult,
+        graph: TaskGraph,
+        cluster: Cluster,
+        alloc: Dict[str, int],
+        limits: Mapping[str, int],
+        cr: Mapping[str, float],
+        banned: FrozenSet[Hashable],
+    ) -> Tuple[Optional[EntryPoint], str]:
+        """One look-ahead selection step: the candidate and what dominated.
+
+        Encapsulates the computation-vs-communication branch of Algorithm 1
+        so the serial walk, the speculation planner, and the worker-side
+        chain walker all take *exactly* the same decision from the same
+        inputs. Returns ``(candidate, "comp" | "comm")``; the candidate is
+        ``None`` when every critical-path task and edge is banned or
+        saturated.
+        """
+        _cp_len, cp = cur_result.sdag.critical_path()
+        tcomp, tcomm = cur_result.sdag.path_costs(cp)
+        if tcomp >= tcomm:
+            candidate: Optional[EntryPoint] = self._select_task(
+                cp, graph, alloc, limits, cr, banned
+            )
+            if candidate is None:
+                candidate = self._select_edge(
+                    cur_result, cp, cluster, alloc, banned
+                )
+        else:
+            candidate = self._select_edge(cur_result, cp, cluster, alloc, banned)
+            if candidate is None:
+                candidate = self._select_task(
+                    cp, graph, alloc, limits, cr, banned
+                )
+        return candidate, ("comp" if tcomp >= tcomm else "comm")
+
+    def _apply_growth(
+        self, candidate: EntryPoint, alloc: Dict[str, int], P: int
+    ) -> None:
+        """Grow *alloc* for a selected candidate (task +1 or edge growth)."""
+        if isinstance(candidate, str):
+            alloc[candidate] += 1
+        else:
+            self._grow_edge(candidate, alloc, P)
+
     def _grow_edge(
         self, edge: Tuple[str, str], alloc: Dict[str, int], P: int
     ) -> None:
@@ -291,15 +402,9 @@ class LocMpsScheduler(Scheduler):
         tasks = graph.tasks()
         if not tasks:
             raise ScheduleError("cannot schedule an empty task graph")
-        g = graph.nx_graph()
 
         # Static per-task data reused every iteration.
-        cr = {
-            t: concurrency_ratio(g, t, graph.sequential_time) for t in tasks
-        }
-        limits = {
-            t: min(P, graph.task(t).profile.pbest(P)) for t in tasks
-        }
+        cr, limits = self._static_tables(graph, cluster)
 
         # Look-aheads restarted from the committed best allocation re-walk
         # their first increments repeatedly; LoCBS is deterministic in the
@@ -309,6 +414,20 @@ class LocMpsScheduler(Scheduler):
         memo: Dict[Tuple[int, ...], SchedulingResult] = {}
         tracer = self.tracer
         stats = self.memo_stats
+
+        # Speculative look-ahead prefill: warm workers trial-schedule the
+        # allocation vectors this walk is about to request and feed the
+        # memo ahead of it. Purely an accelerator — every consumed result
+        # is the exact LoCBS output the serial path would compute, and a
+        # missed speculation just falls back to the local pass below.
+        prefetcher = None
+        if self.parallel_workers is not None and self.parallel_workers > 1:
+            from repro.parallel.speculate import LookaheadPrefetcher
+
+            prefetcher = LookaheadPrefetcher(
+                self, graph, cluster,
+                workers=self.parallel_workers, stats=self.prefill_stats,
+            )
 
         def schedule_for(alloc: Mapping[str, int]) -> SchedulingResult:
             key = tuple(alloc[t] for t in tasks)
@@ -321,10 +440,15 @@ class LocMpsScheduler(Scheduler):
             stats["misses"] += 1
             if tracer.enabled:
                 tracer.event("memo_miss", size=len(memo))
-                with tracer.span("locbs_schedule"):
+            result = prefetcher.fetch(key) if prefetcher is not None else None
+            if result is None:
+                if tracer.enabled:
+                    with tracer.span("locbs_schedule"):
+                        result = self._schedule(graph, cluster, alloc)
+                else:
                     result = self._schedule(graph, cluster, alloc)
-            else:
-                result = self._schedule(graph, cluster, alloc)
+            elif tracer.enabled:
+                tracer.event("memo_prefill_hit", size=len(memo))
             if self.memo_limit is not None and len(memo) >= self.memo_limit:
                 del memo[next(iter(memo))]  # FIFO: oldest allocation first
                 stats["evictions"] += 1
@@ -353,6 +477,8 @@ class LocMpsScheduler(Scheduler):
             )
 
             for _outer in range(outer_cap):
+                if prefetcher is not None:
+                    prefetcher.plan(best_result, best_alloc, frozenset(marked))
                 alloc = dict(best_alloc)
                 old_sl = best_sl
                 cur_result = best_result
@@ -366,27 +492,10 @@ class LocMpsScheduler(Scheduler):
                     )
 
                 for iter_cnt in range(self.look_ahead_depth):
-                    _cp_len, cp = cur_result.sdag.critical_path()
-                    tcomp, tcomm = cur_result.sdag.path_costs(cp)
                     banned = frozenset(marked) if iter_cnt == 0 else frozenset()
-
-                    candidate: Optional[EntryPoint] = None
-                    if tcomp >= tcomm:
-                        candidate = self._select_task(
-                            cp, graph, alloc, limits, cr, banned
-                        )
-                        if candidate is None:
-                            candidate = self._select_edge(
-                                cur_result, cp, cluster, alloc, banned
-                            )
-                    else:
-                        candidate = self._select_edge(
-                            cur_result, cp, cluster, alloc, banned
-                        )
-                        if candidate is None:
-                            candidate = self._select_task(
-                                cp, graph, alloc, limits, cr, banned
-                            )
+                    candidate, dominated = self._next_candidate(
+                        cur_result, graph, cluster, alloc, limits, cr, banned
+                    )
                     if candidate is None:
                         break
                     if tracer.enabled:
@@ -399,13 +508,10 @@ class LocMpsScheduler(Scheduler):
                                 else list(candidate)
                             ),
                             depth=iter_cnt,
-                            dominated_by="comp" if tcomp >= tcomm else "comm",
+                            dominated_by=dominated,
                         )
 
-                    if isinstance(candidate, str):
-                        alloc[candidate] += 1
-                    else:
-                        self._grow_edge(candidate, alloc, P)
+                    self._apply_growth(candidate, alloc, P)
                     if iter_cnt == 0:
                         entry = candidate
 
@@ -431,6 +537,8 @@ class LocMpsScheduler(Scheduler):
                 else:
                     marked.clear()
         finally:
+            if prefetcher is not None:
+                prefetcher.close()
             for key, val in cache.stats.items():
                 self.cost_cache_stats[key] += val
             self._cost_cache = None
