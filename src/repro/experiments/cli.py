@@ -83,6 +83,15 @@ def _parser() -> argparse.ArgumentParser:
         "merged (summarize with 'python -m repro.obs report', convert for "
         "chrome://tracing with 'python -m repro.obs chrome')",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="record decision provenance: every committed placement emits "
+        "a placement_decision event (candidate holes, scores, winner, "
+        "regret); pair with --trace, then inspect via "
+        "'python -m repro.obs dashboard' or the regret list "
+        "(not used by fig11, which replays schedules)",
+    )
     return parser
 
 
@@ -104,24 +113,29 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
         tracer = Tracer()
 
-    for name in names:
-        kwargs = dict(
-            quick=not args.full,
-            proc_counts=args.procs,
-            progress=args.progress,
-            tracer=tracer,
-        )
-        if name != "fig11":  # fig11 replays schedules; no cell fan-out
-            kwargs["workers"] = workers
-        result = FIGURES[name](**kwargs)
-        print(result.text())
-        print()
+    try:
+        for name in names:
+            kwargs = dict(
+                quick=not args.full,
+                proc_counts=args.procs,
+                progress=args.progress,
+                tracer=tracer,
+            )
+            if name != "fig11":  # fig11 replays schedules; no cell fan-out
+                kwargs["workers"] = workers
+                kwargs["explain"] = args.explain
+            result = FIGURES[name](**kwargs)
+            print(result.text())
+            print()
+    finally:
+        # Flush whatever was traced even when a figure raises mid-run —
+        # a partial trace of the failing sweep is exactly what you want
+        # to debug it with.
+        if tracer is not None:
+            from repro.obs import write_jsonl
 
-    if tracer is not None:
-        from repro.obs import write_jsonl
-
-        n = write_jsonl(tracer, args.trace)
-        print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
+            n = write_jsonl(tracer, args.trace)
+            print(f"wrote {n} trace events to {args.trace}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

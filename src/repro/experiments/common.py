@@ -126,6 +126,8 @@ class _SweepContext:
     overlap: bool = True
     validate: bool = True
     factory: Optional[Callable[[str], object]] = field(default=None)
+    #: enable decision provenance on schedulers that support it
+    explain: bool = False
 
 
 def _run_cell_warm(env, gi: int, pi: int) -> List[Tuple[str, float, float]]:
@@ -149,6 +151,8 @@ def _run_cell_warm(env, gi: int, pi: int) -> List[Tuple[str, float, float]]:
         sched = factory(scheme)
         if tracer.enabled:
             sched.tracer = tracer
+        if ctx.explain and hasattr(sched, "explain"):
+            sched.explain = True
         t0 = time.perf_counter()
         schedule = sched.schedule(graph, cluster)
         elapsed = time.perf_counter() - t0
@@ -180,6 +184,7 @@ def run_comparison(
     workers: int = 1,
     chunksize: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    explain: bool = False,
 ) -> ComparisonResult:
     """Sweep every scheme over every graph and processor count.
 
@@ -206,7 +211,15 @@ def run_comparison(
     ``workers > 1`` each worker records to a private JSONL spool
     (:class:`~repro.obs.spool.SpoolTracer`); the spools are merged into
     *tracer* — ordered by timestamp, each event exactly once — before
-    this function returns.
+    this function returns, *even when the sweep raises mid-run* (partial
+    traces beat lost traces when debugging the failure).
+
+    ``explain=True`` turns on decision provenance for every scheduler
+    that supports it (``hasattr(sched, "explain")`` — currently
+    LoC-MPS): each committed placement emits a ``placement_decision``
+    trace event holding every candidate hole the LoCBS scan probed.
+    Pair it with *tracer*, or the records die with the scheduler
+    instances.
     """
     if not graphs:
         raise ExperimentError("run_comparison needs at least one graph")
@@ -259,8 +272,10 @@ def run_comparison(
             overlap=overlap,
             validate=validate,
             factory=scheduler_factory,
+            explain=explain,
         )
         spool_dir = tempfile.mkdtemp(prefix="repro-spool-") if tracer else None
+        pool = None
         try:
             items = [(gi, pi) for gi, pi, _ in cells]
             pool = SchedulerPool(workers, context=ctx, spool_dir=spool_dir)
@@ -270,15 +285,20 @@ def run_comparison(
                 ):
                     gi, pi, _ = cells[idx]
                     record(gi, pi, rows)
-            if tracer is not None:
-                # pool is shut down: every spool is complete and flushed
-                pool.merge_spools(tracer)
         finally:
-            if spool_dir is not None:
-                shutil.rmtree(spool_dir, ignore_errors=True)
+            # Merge whatever the workers spooled — on the clean path every
+            # spool is complete and flushed (the pool is shut down), and on
+            # a mid-sweep failure a partial trace still reaches *tracer*
+            # before the spool directory is deleted.
+            try:
+                if tracer is not None and pool is not None:
+                    pool.merge_spools(tracer)
+            finally:
+                if spool_dir is not None:
+                    shutil.rmtree(spool_dir, ignore_errors=True)
     else:
         for gi, pi, args in cells:
-            if scheduler_factory is None and tracer is None:
+            if scheduler_factory is None and tracer is None and not explain:
                 record(gi, pi, _run_cell(args))
             else:
                 graph, P, bw, ov, scheme_t, val = args
@@ -288,6 +308,8 @@ def run_comparison(
                     sched = factory(scheme)
                     if tracer is not None:
                         sched.tracer = tracer
+                    if explain and hasattr(sched, "explain"):
+                        sched.explain = True
                     t0 = time.perf_counter()
                     schedule = sched.schedule(graph, cluster)
                     elapsed = time.perf_counter() - t0

@@ -41,6 +41,7 @@ def run(
     progress: bool = False,
     workers: int = 1,
     tracer: Optional[Tracer] = None,
+    explain: bool = False,
 ) -> FigureResult:
     """Regenerate Fig 4(a) or 4(b)."""
     if panel not in ("a", "b"):
@@ -59,6 +60,7 @@ def run(
         progress=progress,
         workers=workers,
         tracer=tracer,
+        explain=explain,
     )
     return FigureResult(
         figure=f"Fig 4({panel})",

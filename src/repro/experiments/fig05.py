@@ -38,6 +38,7 @@ def run(
     progress: bool = False,
     workers: int = 1,
     tracer: Optional[Tracer] = None,
+    explain: bool = False,
 ) -> FigureResult:
     """Regenerate Fig 5(a) (CCR=0.1) or 5(b) (CCR=1)."""
     if panel not in ("a", "b"):
@@ -56,6 +57,7 @@ def run(
         progress=progress,
         workers=workers,
         tracer=tracer,
+        explain=explain,
     )
     return FigureResult(
         figure=f"Fig 5({panel})",

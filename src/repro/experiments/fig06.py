@@ -33,6 +33,7 @@ def run(
     progress: bool = False,
     workers: int = 1,
     tracer: Optional[Tracer] = None,
+    explain: bool = False,
 ) -> FigureResult:
     """Regenerate Fig 6 (both panels: performance and scheduling time)."""
     procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
@@ -48,6 +49,7 @@ def run(
         progress=progress,
         workers=workers,
         tracer=tracer,
+        explain=explain,
     )
     return FigureResult(
         figure="Fig 6",

@@ -39,6 +39,7 @@ def run(
     progress: bool = False,
     workers: int = 1,
     tracer: Optional[Tracer] = None,
+    explain: bool = False,
 ) -> FigureResult:
     """Regenerate Fig 8(a) (overlap) or 8(b) (no overlap)."""
     if panel not in ("a", "b"):
@@ -55,6 +56,7 @@ def run(
         progress=progress,
         workers=workers,
         tracer=tracer,
+        explain=explain,
     )
     return FigureResult(
         figure=f"Fig 8({panel})",

@@ -30,6 +30,7 @@ def run(
     progress: bool = False,
     workers: int = 1,
     tracer: Optional[Tracer] = None,
+    explain: bool = False,
 ) -> FigureResult:
     """Regenerate Fig 9(a) (1024^2) or 9(b) (4096^2)."""
     if panel not in ("a", "b"):
@@ -45,6 +46,7 @@ def run(
         progress=progress,
         workers=workers,
         tracer=tracer,
+        explain=explain,
     )
     return FigureResult(
         figure=f"Fig 9({panel})",

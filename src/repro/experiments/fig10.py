@@ -31,6 +31,7 @@ def run(
     progress: bool = False,
     workers: int = 1,
     tracer: Optional[Tracer] = None,
+    explain: bool = False,
 ) -> FigureResult:
     """Regenerate Fig 10(a) (CCSD T1 times) or 10(b) (Strassen times)."""
     if panel not in ("a", "b"):
@@ -45,6 +46,7 @@ def run(
         progress=progress,
         workers=workers,
         tracer=tracer,
+        explain=explain,
     )
     makespans = {s: result.mean_makespan(s) for s in result.schemes}
     return FigureResult(

@@ -8,11 +8,17 @@ The subsystem has three layers:
   parameter.
 * :class:`Counters` / :class:`Timers` — monotonic counters, gauges, and
   histogram-style timers with a plain-JSON ``summary()``.
+* :class:`MetricsRegistry` / :class:`Histogram` — label-aware counters,
+  gauges, and bucketed histograms with OpenMetrics text exposition
+  (:func:`render_openmetrics`, linted by :func:`validate_openmetrics`);
+  :func:`registry_from_events` derives a registry from a recorded trace.
 * exporters — JSONL event logs (:func:`write_jsonl` / :func:`read_jsonl`)
   and Chrome trace-event JSON (:func:`write_chrome_trace`) loadable in
   ``chrome://tracing`` or Perfetto; ``python -m repro.obs report`` prints
   a summary (events by type, time by phase, locality/memo hit rates,
-  backfill fill ratio).
+  backfill fill ratio), ``python -m repro.obs metrics`` emits OpenMetrics
+  text, and ``python -m repro.obs dashboard`` renders the self-contained
+  HTML dashboard (:func:`~repro.obs.dashboard.render_dashboard`).
 
 Quick start::
 
@@ -35,6 +41,15 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    SIM_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    registry_from_events,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from repro.obs.spool import (
     SpoolTracer,
     iter_spool_files,
@@ -46,9 +61,13 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "Counters",
+    "DEFAULT_BUCKETS",
     "EVENT_TYPES",
+    "Histogram",
+    "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "SIM_BUCKETS",
     "SIM_EVENT_TYPES",
     "SpoolTracer",
     "TimerStat",
@@ -59,8 +78,11 @@ __all__ = [
     "merge_spool_dir",
     "merge_spool_files",
     "read_jsonl",
+    "registry_from_events",
+    "render_openmetrics",
     "spool_path_for_worker",
     "to_chrome_trace",
+    "validate_openmetrics",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -4,6 +4,8 @@ Examples::
 
     python -m repro.obs report trace.jsonl
     python -m repro.obs chrome trace.jsonl trace.chrome.json
+    python -m repro.obs metrics trace.jsonl --check
+    python -m repro.obs dashboard trace.jsonl dashboard.html
 
 (``python -m repro.obs.cli`` works identically.) JSONL logs are produced
 by the experiment harness's ``--trace PATH`` flag or by passing a
@@ -14,6 +16,7 @@ by the experiment harness's ``--trace PATH`` flag or by passing a
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs import events as ev_types
@@ -111,6 +114,41 @@ def _parser() -> argparse.ArgumentParser:
     )
     chrome.add_argument("path", help="JSONL trace file")
     chrome.add_argument("out", help="output .json path")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="derive a metrics registry from a JSONL trace and emit "
+        "OpenMetrics text exposition",
+    )
+    metrics.add_argument("path", help="JSONL trace file")
+    metrics.add_argument(
+        "--out",
+        default=None,
+        help="write the exposition here instead of stdout",
+    )
+    metrics.add_argument(
+        "--check",
+        action="store_true",
+        help="lint the rendered exposition (exit non-zero on problems)",
+    )
+
+    dash = sub.add_parser(
+        "dashboard",
+        help="render the self-contained HTML explainability dashboard "
+        "(utilization heatmap, attribution, regret list, provenance)",
+    )
+    dash.add_argument("path", help="JSONL trace file")
+    dash.add_argument(
+        "out",
+        nargs="?",
+        default="dashboard.html",
+        help="output .html path (default: dashboard.html)",
+    )
+    dash.add_argument(
+        "--title",
+        default="Schedule explainability dashboard",
+        help="page title",
+    )
     return parser
 
 
@@ -122,6 +160,32 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     elif args.command == "chrome":
         n = write_chrome_trace(events, args.out)
         print(f"wrote {n} trace slices to {args.out}")
+    elif args.command == "metrics":
+        from repro.obs.registry import (
+            registry_from_events,
+            render_openmetrics,
+            validate_openmetrics,
+        )
+
+        text = render_openmetrics(registry_from_events(events))
+        if args.out is not None:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote OpenMetrics exposition to {args.out}")
+        else:
+            sys.stdout.write(text)
+        if args.check:
+            problems = validate_openmetrics(text)
+            for p in problems:
+                print(f"OPENMETRICS LINT: {p}", file=sys.stderr)
+            if problems:
+                raise SystemExit(1)
+            print("openmetrics lint OK", file=sys.stderr)
+    elif args.command == "dashboard":
+        from repro.obs.dashboard import write_dashboard
+
+        out = write_dashboard(events, args.out, title=args.title)
+        print(f"wrote dashboard ({len(events)} events) to {out}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,9 @@ LOCALITY_HIT = "locality_hit"
 LOCALITY_MISS = "locality_miss"
 PSEUDO_EDGE_ADDED = "pseudo_edge_added"
 REDISTRIBUTION_COSTED = "redistribution_costed"
+#: full decision provenance (emitted only when ``explain`` is on; the
+#: payload is a serialized :class:`repro.schedulers.provenance.PlacementDecision`)
+PLACEMENT_DECISION = "placement_decision"
 
 #: replay engine (simulated-time spans, not wall-clock)
 SIM_TASK = "sim_task"
@@ -53,6 +56,7 @@ EVENT_TYPES = frozenset(
         LOCALITY_MISS,
         PSEUDO_EDGE_ADDED,
         REDISTRIBUTION_COSTED,
+        PLACEMENT_DECISION,
         SIM_TASK,
         SIM_TRANSFER,
         EXPERIMENT_CELL,

@@ -43,8 +43,10 @@ from repro.perf.reference import (
     locbs_schedule_reference,
     scan_blockers,
 )
+from repro.perf.schema import BENCH_SCHEMA_VERSION
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "GOLDEN_PATH",
     "check_golden",
     "compute_golden",

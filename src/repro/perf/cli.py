@@ -49,6 +49,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=Path("BENCH_hotpath.json"),
         help="output path (default: ./BENCH_hotpath.json)",
     )
+    hot.add_argument(
+        "--metrics",
+        type=Path,
+        default=None,
+        help=(
+            "also write an OpenMetrics exposition (per-placement time "
+            "histogram) to this path"
+        ),
+    )
 
     gold = sub.add_parser("golden", help="check or refresh golden fingerprints")
     mode = gold.add_mutually_exclusive_group()
@@ -141,13 +150,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     # default command: hotpath
+    metrics_path: Optional[Path] = getattr(args, "metrics", None)
+    registry = None
+    if metrics_path is not None:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
     doc = run_hotpath(
         scale="quick" if getattr(args, "quick", False) else "full",
         include_reference=not getattr(args, "no_reference", False),
         progress=lambda msg: print(msg, flush=True),
+        metrics=registry,
     )
     out: Path = getattr(args, "out", Path("BENCH_hotpath.json"))
     out.write_text(json.dumps(doc, indent=2) + "\n")
+    if registry is not None:
+        metrics_path.write_text(registry.render())
+        print(f"wrote {metrics_path}")
     for suite in doc["suites"]:
         opt = suite["optimized"]
         line = (

@@ -34,7 +34,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.cluster import MYRINET_2GBPS, Cluster
 from repro.graph import TaskGraph
 from repro.obs import Counters
+from repro.obs.registry import MetricsRegistry
 from repro.perf.reference import ReferenceLocMpsScheduler
+from repro.perf.schema import BENCH_SCHEMA_VERSION
 from repro.schedulers.locmps import LocMpsScheduler
 from repro.speedup import DowneySpeedup, ExecutionProfile
 from repro.utils.rng import as_generator
@@ -199,7 +201,13 @@ def build_suites(scale: str = "full") -> List[SuiteSpec]:
 
 
 def _run_arm(
-    scheduler: LocMpsScheduler, graphs: List[TaskGraph], cluster: Cluster
+    scheduler: LocMpsScheduler,
+    graphs: List[TaskGraph],
+    cluster: Cluster,
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+    suite: str = "",
+    arm: str = "",
 ) -> Dict[str, object]:
     """Schedule every graph once; collect wall-clock and obs counters."""
     wall = 0.0
@@ -210,6 +218,13 @@ def _run_arm(
         wall += schedule.scheduling_time
         placements += len(schedule)
         makespans.append(schedule.makespan)
+        if metrics is not None and len(schedule) > 0:
+            metrics.observe(
+                "placement_seconds",
+                schedule.scheduling_time / len(schedule),
+                suite=suite, arm=arm,
+                help="mean wall-clock per committed placement, per graph",
+            )
     counters = Counters()
     for key, val in scheduler.memo_stats.items():
         counters.inc(f"memo_{key}", val)
@@ -236,7 +251,10 @@ def _run_arm(
 
 
 def run_suite(
-    spec: SuiteSpec, *, include_reference: bool = True
+    spec: SuiteSpec,
+    *,
+    include_reference: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
     """Time one suite; returns the per-suite record of the JSON report."""
     graphs = spec.graph_factory()
@@ -247,11 +265,15 @@ def run_suite(
         "num_graphs": len(graphs),
         "tasks_total": sum(g.num_tasks for g in graphs),
         "processors": spec.cluster.num_processors,
-        "optimized": _run_arm(LocMpsScheduler(**kwargs), graphs, spec.cluster),
+        "optimized": _run_arm(
+            LocMpsScheduler(**kwargs), graphs, spec.cluster,
+            metrics=metrics, suite=spec.name, arm="optimized",
+        ),
     }
     if include_reference:
         record["reference"] = _run_arm(
-            ReferenceLocMpsScheduler(**kwargs), graphs, spec.cluster
+            ReferenceLocMpsScheduler(**kwargs), graphs, spec.cluster,
+            metrics=metrics, suite=spec.name, arm="reference",
         )
         opt, ref = record["optimized"], record["reference"]
         record["speedup"] = (
@@ -266,15 +288,26 @@ def run_hotpath(
     scale: str = "full",
     include_reference: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
-    """Run every suite and return the full ``BENCH_hotpath.json`` document."""
+    """Run every suite and return the full ``BENCH_hotpath.json`` document.
+
+    *metrics* (optional) additionally collects the per-placement
+    wall-clock histogram (``placement_seconds{suite=...,arm=...}``) for
+    OpenMetrics exposition.
+    """
     suites: List[Dict[str, object]] = []
     for spec in build_suites(scale):
         if progress is not None:
             progress(f"running {spec.name} ...")
-        suites.append(run_suite(spec, include_reference=include_reference))
+        suites.append(
+            run_suite(
+                spec, include_reference=include_reference, metrics=metrics
+            )
+        )
     return {
         "schema": SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "scale": scale,
         "methodology": (
             "Per suite, each arm schedules every graph once on a cold "

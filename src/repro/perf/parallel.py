@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.perf.golden import GOLDEN_PATH, golden_cases, schedule_digest
 from repro.perf.hotpath import SuiteSpec, build_suites
+from repro.perf.schema import BENCH_SCHEMA_VERSION
 from repro.schedulers.locmps import LocMpsScheduler
 
 __all__ = [
@@ -154,6 +155,7 @@ def run_parallel(
     golden_problems = check_parallel_golden(jobs, golden_path)
     return {
         "schema": SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
         "scale": scale,
         "jobs": jobs,
         "cpu": {

@@ -1,0 +1,15 @@
+"""Shared schema metadata for the ``BENCH_*.json`` bench records.
+
+Every emitter stamps both the record-specific ``schema`` string (e.g.
+``repro.perf.hotpath/v1``) and the common integer ``schema_version``, so
+downstream consumers — the obs dashboard, CI diffing, a future
+``BENCH_online.json`` — can parse the family of files uniformly without
+knowing each record type's string.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BENCH_SCHEMA_VERSION"]
+
+#: bump when the common envelope (not a record-specific field) changes
+BENCH_SCHEMA_VERSION = 1

@@ -12,6 +12,13 @@ from repro.schedule.metrics import (
     gantt_ascii,
     schedule_summary,
 )
+from repro.schedule.attribution import (
+    AttributionReport,
+    ChainLink,
+    ProcessorAttribution,
+    attribute_makespan,
+    extract_critical_chain,
+)
 from repro.schedule.svg import schedule_to_svg, save_svg
 from repro.schedule.export import (
     load_schedule,
@@ -33,6 +40,11 @@ __all__ = [
     "total_idle_time",
     "gantt_ascii",
     "schedule_summary",
+    "AttributionReport",
+    "ChainLink",
+    "ProcessorAttribution",
+    "attribute_makespan",
+    "extract_critical_chain",
     "schedule_to_svg",
     "save_svg",
     "schedule_to_dict",

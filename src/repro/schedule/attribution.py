@@ -1,0 +1,266 @@
+"""Bottleneck attribution: where did the makespan's processor-time go?
+
+Decomposes the 2-D chart of a schedule into the three buckets the paper
+argues about — per processor and in total:
+
+* **compute**: the execution rectangles (``exec_duration`` of each
+  placement);
+* **redistribution**: destination-side inbound communication occupancy
+  (``exec_start - start``; nonzero only on non-overlapping clusters,
+  where the paper charges inbound redistribution against the destination
+  processors);
+* **idle**: everything else, defined as the remainder — so the identity
+  ``compute + redistribution + idle == P * makespan`` holds *exactly* by
+  construction (up to float summation noise), which the acceptance tests
+  rely on.
+
+:func:`extract_critical_chain` complements the decomposition with the
+*realized* critical chain: the back-to-back sequence of placements that
+actually pinned the makespan, each annotated with whether it constrained
+its successor through **data** (the successor waited for its output) or
+through a **resource** (the successor waited for its processors). The
+chain is read off the committed schedule alone — realized per-edge
+communication times are taken from ``schedule.edge_comm_times`` — so it
+works for any scheduler's output, not just LoCBS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.graph import TaskGraph
+from repro.schedule.types import PlacedTask, Schedule
+
+__all__ = [
+    "ProcessorAttribution",
+    "AttributionReport",
+    "ChainLink",
+    "attribute_makespan",
+    "extract_critical_chain",
+]
+
+_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ProcessorAttribution:
+    """One processor's share of the chart: compute / redistribution / idle."""
+
+    processor: int
+    compute: float
+    redistribution: float
+    idle: float
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.redistribution
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "processor": self.processor,
+            "compute": self.compute,
+            "redistribution": self.redistribution,
+            "idle": self.idle,
+        }
+
+
+@dataclass
+class AttributionReport:
+    """The full decomposition of one schedule's processor-time."""
+
+    makespan: float
+    per_processor: List[ProcessorAttribution]
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.per_processor)
+
+    @property
+    def compute(self) -> float:
+        return sum(a.compute for a in self.per_processor)
+
+    @property
+    def redistribution(self) -> float:
+        return sum(a.redistribution for a in self.per_processor)
+
+    @property
+    def idle(self) -> float:
+        return sum(a.idle for a in self.per_processor)
+
+    @property
+    def total(self) -> float:
+        """``P * makespan`` — what the three buckets sum to."""
+        return self.num_processors * self.makespan
+
+    @property
+    def dominant(self) -> str:
+        """The largest bucket: ``"compute"``, ``"redistribution"``, ``"idle"``."""
+        buckets = {
+            "compute": self.compute,
+            "redistribution": self.redistribution,
+            "idle": self.idle,
+        }
+        return max(sorted(buckets), key=lambda k: buckets[k])
+
+    def fractions(self) -> Dict[str, float]:
+        """Bucket shares of the total processor-time (all 0 when empty)."""
+        total = self.total
+        if total <= 0:
+            return {"compute": 0.0, "redistribution": 0.0, "idle": 0.0}
+        return {
+            "compute": self.compute / total,
+            "redistribution": self.redistribution / total,
+            "idle": self.idle / total,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "makespan": self.makespan,
+            "num_processors": self.num_processors,
+            "compute": self.compute,
+            "redistribution": self.redistribution,
+            "idle": self.idle,
+            "fractions": self.fractions(),
+            "per_processor": [a.to_dict() for a in self.per_processor],
+        }
+
+    def text(self) -> str:
+        f = self.fractions()
+        return (
+            f"makespan {self.makespan:.3f} on P={self.num_processors}: "
+            f"{f['compute']:.1%} compute, "
+            f"{f['redistribution']:.1%} redistribution, "
+            f"{f['idle']:.1%} idle (dominant: {self.dominant})"
+        )
+
+
+def attribute_makespan(schedule: Schedule) -> AttributionReport:
+    """Decompose *schedule* into per-processor compute/redistribution/idle.
+
+    Idle is defined as the per-processor remainder, so
+    ``report.compute + report.redistribution + report.idle`` equals
+    ``P * makespan`` exactly (modulo float summation order).
+    """
+    makespan = schedule.makespan
+    compute: Dict[int, float] = {p: 0.0 for p in schedule.cluster.processors}
+    redist: Dict[int, float] = {p: 0.0 for p in schedule.cluster.processors}
+    for placed in schedule:
+        comm = placed.exec_start - placed.start
+        for p in placed.processors:
+            compute[p] += placed.exec_duration
+            redist[p] += comm
+    per_proc = [
+        ProcessorAttribution(
+            processor=p,
+            compute=compute[p],
+            redistribution=redist[p],
+            idle=makespan - compute[p] - redist[p],
+        )
+        for p in schedule.cluster.processors
+    ]
+    return AttributionReport(makespan=makespan, per_processor=per_proc)
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One placement on the realized critical chain.
+
+    ``binds`` says how this task constrained the *next* chain element:
+    ``"data"`` (the successor waited for this task's output to arrive),
+    ``"resource"`` (the successor waited for this task to release its
+    processors), or ``"makespan"`` for the final task, whose finish *is*
+    the makespan.
+    """
+
+    task: str
+    start: float
+    finish: float
+    binds: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task": self.task,
+            "start": self.start,
+            "finish": self.finish,
+            "binds": self.binds,
+        }
+
+
+def _binding_parent(
+    schedule: Schedule,
+    graph: TaskGraph,
+    placed: PlacedTask,
+) -> Optional[str]:
+    """The predecessor whose output arrival pinned *placed*'s start."""
+    if schedule.cluster.overlap:
+        bound, arrival_of = placed.exec_start, True
+    else:
+        bound, arrival_of = placed.start, False
+    best: Optional[tuple] = None
+    for u in graph.predecessors(placed.name):
+        pu = schedule.get(u)
+        if pu is None:
+            continue
+        arrival = pu.finish
+        if arrival_of:
+            arrival += schedule.edge_comm_times.get((u, placed.name), 0.0)
+        if arrival >= bound - _TOL:
+            key = (arrival, u)
+            if best is None or key > best:
+                best = key
+    return best[1] if best is not None else None
+
+
+def _binding_blocker(schedule: Schedule, placed: PlacedTask) -> Optional[str]:
+    """The task whose processor release pinned *placed*'s start."""
+    best: Optional[tuple] = None
+    procs = set(placed.processors)
+    for other in schedule:
+        if other.name == placed.name:
+            continue
+        if abs(other.finish - placed.start) > _TOL:
+            continue
+        if procs.isdisjoint(other.processors):
+            continue
+        key = (other.finish, other.name)
+        if best is None or key > best:
+            best = key
+    return best[1] if best is not None else None
+
+
+def extract_critical_chain(
+    schedule: Schedule, graph: TaskGraph
+) -> List[ChainLink]:
+    """The realized chain of placements that determined the makespan.
+
+    Walks backward from the last-finishing task: at each step the binding
+    constraint is either a graph predecessor whose realized output
+    arrival matches the task's start (a *data* link) or a placement whose
+    finish released the task's processors (a *resource* link — exactly
+    the waits LoCBS records as pseudo-edges). The walk stops at a task
+    that started unconstrained. Returned in time order (chain head
+    first); empty for an empty schedule.
+    """
+    placements = list(schedule)
+    if not placements:
+        return []
+    tail = max(placements, key=lambda p: (p.finish, p.name))
+    chain: List[ChainLink] = [
+        ChainLink(tail.name, tail.start, tail.finish, "makespan")
+    ]
+    visited = {tail.name}
+    cur = tail
+    while True:
+        parent = _binding_parent(schedule, graph, cur)
+        kind = "data"
+        if parent is None:
+            parent = _binding_blocker(schedule, cur)
+            kind = "resource"
+        if parent is None or parent in visited:
+            break
+        visited.add(parent)
+        cur = schedule[parent]
+        chain.append(ChainLink(cur.name, cur.start, cur.finish, kind))
+    chain.reverse()
+    return chain

@@ -6,6 +6,13 @@ from typing import Dict, List, Optional
 
 from repro.graph import TaskGraph
 from repro.schedule.types import Schedule
+from repro.schedule.attribution import (  # noqa: F401 — re-exported here
+    AttributionReport,
+    ChainLink,
+    ProcessorAttribution,
+    attribute_makespan,
+    extract_critical_chain,
+)
 
 __all__ = [
     "busy_time",
@@ -15,6 +22,11 @@ __all__ = [
     "total_nonlocal_bytes",
     "gantt_ascii",
     "schedule_summary",
+    "AttributionReport",
+    "ChainLink",
+    "ProcessorAttribution",
+    "attribute_makespan",
+    "extract_critical_chain",
 ]
 
 

@@ -20,6 +20,12 @@ mapping) to instantiate by name.
 from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.schedulers.costcache import CostCache
 from repro.schedulers.locbs import locbs_schedule, LocbsOptions, ReadyQueue
+from repro.schedulers.provenance import (
+    CandidateProbe,
+    PlacementDecision,
+    ProvenanceRecorder,
+    rank_regrets,
+)
 from repro.schedulers.nobackfill import nobackfill_schedule
 from repro.schedulers.list_scheduler import list_schedule
 from repro.schedulers.locmps import LocMpsScheduler
@@ -38,6 +44,10 @@ __all__ = [
     "LocbsOptions",
     "CostCache",
     "ReadyQueue",
+    "CandidateProbe",
+    "PlacementDecision",
+    "ProvenanceRecorder",
+    "rank_regrets",
     "nobackfill_schedule",
     "list_schedule",
     "LocMpsScheduler",

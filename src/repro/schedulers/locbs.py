@@ -45,6 +45,15 @@ from repro.schedule import (
 from repro.schedulers.base import SchedulingResult, clamp_allocation
 from repro.schedulers.context import SchedulingContext
 from repro.schedulers.costcache import CostCache, GraphInvariants
+from repro.schedulers.provenance import (
+    HOLE_TOO_SHORT,
+    LOST,
+    TOO_FEW_FREE,
+    WON,
+    CandidateProbe,
+    PlacementDecision,
+    ProvenanceRecorder,
+)
 from repro.utils.intervals import EPS
 
 __all__ = ["LocbsOptions", "ReadyQueue", "locbs_schedule", "task_priorities"]
@@ -174,6 +183,7 @@ def locbs_schedule(
     context: Optional["SchedulingContext"] = None,
     tracer: Optional[Tracer] = None,
     cost_cache: Optional[CostCache] = None,
+    provenance: Optional[ProvenanceRecorder] = None,
 ) -> SchedulingResult:
     """Schedule *graph* under *allocation* with locality-conscious backfill.
 
@@ -195,6 +205,13 @@ def locbs_schedule(
     touched. Omitted, a private per-call cache still dedupes the repeated
     transfer timings of the hole scan. Caching never changes the produced
     schedule (cached values are the exact uncached results).
+
+    *provenance* (optional) collects one
+    :class:`~repro.schedulers.provenance.PlacementDecision` per placed
+    task — every candidate hole probed, its trial timing, why it lost —
+    and, when a tracer is active, mirrors each decision as a
+    ``placement_decision`` trace event. Recording never changes the
+    schedule; ``None`` (the default) keeps the scan free of bookkeeping.
     """
     tracer = tracer or NULL_TRACER
     alloc = clamp_allocation(graph, cluster, allocation)
@@ -236,8 +253,12 @@ def locbs_schedule(
 
         placement, comm_times, est_tp = _place_task(
             tp, preds[tp], graph, cluster, alloc, cache, timeline, schedule,
-            options, context, tracer,
+            options, context, tracer, provenance,
         )
+        if provenance is not None and tracer.enabled:
+            tracer.event(
+                "placement_decision", **provenance.decisions[-1].to_dict()
+            )
         occupied_from = placement.start
         timeline.reserve(placement.processors, placement.start, placement.finish)
         schedule.place(placement)
@@ -296,6 +317,7 @@ def _place_task(
     options: LocbsOptions,
     context: Optional["SchedulingContext"] = None,
     tracer: Tracer = NULL_TRACER,
+    provenance: Optional[ProvenanceRecorder] = None,
 ) -> Tuple[PlacedTask, Dict[Tuple[str, str], float], float]:
     """Find the minimum-finish-time hole for *tp* (Algorithm 2, steps 5-16).
 
@@ -348,6 +370,15 @@ def _place_task(
     # interior-hole flag of the winning placement (a backfill proper: at
     # least one chosen processor has a later reservation bounding the hole)
     best_interior = False
+    # Provenance bookkeeping, None-guarded so the default scan stays free
+    # of it: raw (tau, procs, start, exec_start, finish, tag) tuples are
+    # collected during the scan and frozen into CandidateProbes at the end,
+    # once the winner (and hence every loser's margin) is known.
+    recording = provenance is not None
+    probes: List[Tuple[float, Tuple[int, ...], float, float, float, str]] = []
+    winner_probe = -1
+    scanned = 0
+    pruned_by_bound = 0
     # The chart is frozen for the whole scan, so an incremental sweep can
     # replace the from-scratch idle query per candidate. Built lazily: most
     # placements settle on the first candidate (where the sweep has no
@@ -357,12 +388,26 @@ def _place_task(
 
     for tau in candidates:
         if best is not None and tau + et >= best[0] - EPS:
-            break  # no later start can beat the current finish time
+            # No later start can beat the current finish time. When
+            # recording, keep probing anyway: the bound guarantees the
+            # winner cannot change (any placement here finishes at
+            # ``tau + et`` or later), and the extra probes are exactly the
+            # losing alternatives the regret list needs margins for.
+            if not recording:
+                break
+            pruned_by_bound += 1
+        if recording:
+            scanned += 1
         if options.backfill:
             if first_probe:
                 first_probe = False
                 free = timeline.idle_with_horizon(tau)
                 if len(free) < np_t:
+                    if recording:
+                        probes.append(
+                            (tau, (), math.inf, math.inf, math.inf,
+                             TOO_FEW_FREE)
+                        )
                     continue
             else:
                 if sweep is None:
@@ -370,6 +415,11 @@ def _place_task(
                 else:
                     sweep.advance(tau)
                 if len(sweep) < np_t:
+                    if recording:
+                        probes.append(
+                            (tau, (), math.inf, math.inf, math.inf,
+                             TOO_FEW_FREE)
+                        )
                     continue
                 free = sweep.free_pairs()
         else:
@@ -379,6 +429,10 @@ def _place_task(
                 if timeline.earliest_available(p) <= tau + EPS
             ]
         if len(free) < np_t:
+            if recording:
+                probes.append(
+                    (tau, (), math.inf, math.inf, math.inf, TOO_FEW_FREE)
+                )
             continue
         # First try the maximum-locality subset; if its hole is too short
         # for the resulting window, retry among processors whose idle hole
@@ -389,6 +443,11 @@ def _place_task(
         if not timeline.is_free(chosen, start, finish):
             roomy = [ph for ph in free if ph[1] >= finish - EPS]
             if len(roomy) < np_t:
+                if recording:
+                    probes.append(
+                        (tau, chosen, start, exec_start, finish,
+                         HOLE_TOO_SHORT)
+                    )
                 continue
             chosen = _pick_by_locality(roomy, np_t, locality)
             trial = _time_placement(
@@ -396,9 +455,18 @@ def _place_task(
             )
             start, exec_start, finish = trial
             if not timeline.is_free(chosen, start, finish):
+                if recording:
+                    probes.append(
+                        (tau, chosen, start, exec_start, finish,
+                         HOLE_TOO_SHORT)
+                    )
                 continue
+        if recording:
+            probes.append((tau, chosen, start, exec_start, finish, LOST))
         if best is None or finish < best[0] - EPS:
             best = (finish, start, exec_start, chosen)
+            if recording:
+                winner_probe = len(probes) - 1
             if tracer.enabled:
                 horizons = dict(free)
                 best_interior = any(
@@ -422,6 +490,49 @@ def _place_task(
         (ft + comm_times[(u, tp)] for u, _, ft, _ in parent_info),
         default=0.0,
     )
+    if recording:
+        winner_finish = finish
+        cands: List[CandidateProbe] = []
+        for i, (c_tau, procs, c_start, c_exec, c_finish, tag) in enumerate(
+            probes
+        ):
+            if tag is LOST:  # feasible probe: won or lost on finish time
+                won = i == winner_probe
+                outcome = WON if won else LOST
+                margin = 0.0 if won else max(0.0, c_finish - winner_finish)
+            else:
+                outcome, margin = tag, math.inf
+            comm = (
+                sum(
+                    model.transfer_time(pp, procs, vol)
+                    for _, pp, _, vol in parent_info
+                )
+                if procs
+                else 0.0
+            )
+            cands.append(
+                CandidateProbe(
+                    tau=c_tau,
+                    processors=procs,
+                    start=c_start,
+                    exec_start=c_exec,
+                    finish=c_finish,
+                    resident_bytes=sum(locality.get(p, 0.0) for p in procs),
+                    comm_time=comm,
+                    outcome=outcome,
+                    margin=margin,
+                )
+            )
+        provenance.record(
+            PlacementDecision(
+                task=tp,
+                width=np_t,
+                ready_time=ready_base,
+                candidates=cands,
+                winner=winner_probe,
+                pruned=pruned_by_bound,
+            )
+        )
     if tracer.enabled:
         if best_interior:
             tracer.event("backfill_hit", task=tp, start=start, finish=finish)

@@ -33,6 +33,7 @@ from repro.schedulers.base import Scheduler, SchedulingResult
 from repro.schedulers.context import SchedulingContext
 from repro.schedulers.costcache import CostCache
 from repro.schedulers.locbs import LocbsOptions, locbs_schedule
+from repro.schedulers.provenance import ProvenanceRecorder
 
 __all__ = ["LocMpsScheduler"]
 
@@ -113,6 +114,17 @@ class LocMpsScheduler(Scheduler):
         loop (``outer_iteration``, ``lookahead_step``,
         ``candidate_selected``, ``memo_*``) and, threaded through LoCBS,
         every placement decision. Defaults to the shared no-op tracer.
+    explain:
+        ``True`` re-runs LoCBS once on the *committed* allocation after
+        the outer loop converges, with a
+        :class:`~repro.schedulers.provenance.ProvenanceRecorder`
+        attached: :attr:`provenance` then holds one decision record per
+        placed task of the returned schedule (candidate holes, trial
+        timings, why the losers lost), and an attached tracer receives a
+        ``placement_decision`` event per task. LoCBS is deterministic per
+        allocation vector, so the explaining pass reproduces the
+        committed schedule exactly — the search itself runs unrecorded
+        and bit-identical to ``explain=False``.
     """
 
     name = "locmps"
@@ -132,6 +144,7 @@ class LocMpsScheduler(Scheduler):
         cost_cache_limit: Optional[int] = None,
         parallel_workers: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        explain: bool = False,
     ) -> None:
         if look_ahead_depth < 1:
             raise ValueError(f"look_ahead_depth must be >= 1, got {look_ahead_depth}")
@@ -165,6 +178,10 @@ class LocMpsScheduler(Scheduler):
         self.cost_cache_limit = cost_cache_limit
         self.parallel_workers = parallel_workers
         self.tracer = tracer or NULL_TRACER
+        self.explain = explain
+        #: decision provenance of the last run()'s committed schedule
+        #: (None until a run with ``explain=True`` completes)
+        self.provenance: Optional[ProvenanceRecorder] = None
         #: cumulative allocation-memo telemetry across every run() of this
         #: instance: hits, misses, evictions, peak_size, last run's size
         self.memo_stats: Dict[str, int] = {
@@ -213,7 +230,11 @@ class LocMpsScheduler(Scheduler):
     # -- scheduling engine -------------------------------------------------------
 
     def _schedule(
-        self, graph: TaskGraph, cluster: Cluster, alloc: Mapping[str, int]
+        self,
+        graph: TaskGraph,
+        cluster: Cluster,
+        alloc: Mapping[str, int],
+        provenance: Optional[ProvenanceRecorder] = None,
     ) -> SchedulingResult:
         options = LocbsOptions(
             backfill=self.backfill,
@@ -224,6 +245,7 @@ class LocMpsScheduler(Scheduler):
             graph, cluster, alloc, options,
             context=self.context, tracer=self.tracer,
             cost_cache=self._cost_cache,
+            provenance=provenance,
         )
 
     # -- candidate selection -------------------------------------------------------
@@ -536,6 +558,25 @@ class LocMpsScheduler(Scheduler):
                     marked.add(entry if isinstance(entry, str) else tuple(entry))
                 else:
                     marked.clear()
+
+            # Explaining pass: one extra LoCBS run on the committed
+            # allocation with the recorder attached, while the run-scoped
+            # cost cache is still alive (so it is nearly free — every
+            # transfer timing is already memoized). LoCBS is deterministic
+            # per allocation, so the pass reproduces best_result exactly.
+            if self.explain:
+                recorder = ProvenanceRecorder(
+                    label=f"{graph.name}/P{P}/{self.name}"
+                )
+                explained = self._schedule(
+                    graph, cluster, best_alloc, provenance=recorder
+                )
+                if explained.makespan != best_result.makespan:
+                    raise ScheduleError(
+                        "explain pass diverged from the committed schedule: "
+                        f"{explained.makespan!r} != {best_result.makespan!r}"
+                    )
+                self.provenance = recorder
         finally:
             if prefetcher is not None:
                 prefetcher.close()

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cluster import Cluster
 from repro.exceptions import SimulationError
 from repro.graph import TaskGraph
+from repro.obs.registry import SIM_BUCKETS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.redistribution import RedistributionModel
 from repro.schedule import Schedule
@@ -81,6 +82,7 @@ class ExecutionEngine:
         use_single_port: bool = False,
         use_phased: bool = False,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.graph = graph
         self.cluster = cluster
@@ -94,6 +96,11 @@ class ExecutionEngine:
         #: observability sink: each realized task becomes a ``sim_task``
         #: span (simulated time base), each transfer a ``sim_transfer``
         self.tracer = tracer or NULL_TRACER
+        #: metrics sink: realized task and transfer durations land in the
+        #: ``sim_task_seconds`` / ``sim_transfer_seconds`` histograms
+        #: (simulated time base, same names :func:`registry_from_events`
+        #: derives from a trace)
+        self.metrics = metrics
 
     # -- timing helpers ------------------------------------------------------------
 
@@ -221,6 +228,19 @@ class ExecutionEngine:
                                 start=done[u].finish,
                                 finish=done[u].finish + xfer,
                                 processors=list(procs),
+                            )
+                if self.metrics is not None:
+                    self.metrics.observe(
+                        "sim_task_seconds", finish - start,
+                        buckets=SIM_BUCKETS,
+                        help="simulated task durations (incl. inbound comm)",
+                    )
+                    for _u, xfer in xfers:
+                        if xfer > 0:
+                            self.metrics.observe(
+                                "sim_transfer_seconds", xfer,
+                                buckets=SIM_BUCKETS,
+                                help="simulated redistribution durations",
                             )
             if not progressed:
                 raise SimulationError(

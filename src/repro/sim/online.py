@@ -30,6 +30,7 @@ import numpy as np
 from repro.cluster import Cluster
 from repro.exceptions import SimulationError
 from repro.graph import TaskGraph
+from repro.obs.registry import MetricsRegistry
 from repro.redistribution import RedistributionModel
 from repro.schedule import Schedule
 from repro.schedulers.base import Scheduler
@@ -75,6 +76,11 @@ class OnlineRescheduler:
     deviation_threshold:
         Relative finish-time deviation that triggers a replan. Deviations
         are measured against the *current* plan's predicted finish.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`: each
+        (re)planning round records its wall-clock scheduling latency into
+        the ``replan_seconds`` histogram and bumps the ``replans``
+        counter (the initial plan counts as ``round="initial"``).
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class OnlineRescheduler:
         seed: SeedLike = None,
         deviation_threshold: float = 0.15,
         max_replans: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if deviation_threshold <= 0:
             raise ValueError(
@@ -104,6 +111,7 @@ class OnlineRescheduler:
             lambda ctx: LocMpsScheduler(context=ctx)
         )
         self.model = RedistributionModel(cluster)
+        self.metrics = metrics
 
     # -- noise streams -------------------------------------------------------------
 
@@ -238,6 +246,16 @@ class OnlineRescheduler:
             sub, context = self._remaining_subgraph(done)
             scheduler = self._factory(context)
             plan = scheduler.schedule(sub, self.cluster)
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "replan_seconds", plan.scheduling_time,
+                    round="initial" if static_plan is None else "replan",
+                    help="wall-clock latency of each (re)planning round",
+                )
+                if static_plan is not None:
+                    self.metrics.inc(
+                        "replans", help="deviation-triggered replanning rounds"
+                    )
             if static_plan is None:
                 static_plan = plan  # the round-0 plan is the static baseline
             realized, deviator = self._realize(

@@ -159,6 +159,90 @@ class TestChromeExport:
         assert spans and all(r["ph"] == "X" for r in spans)
 
 
+class TestChromeExportEdgeCases:
+    def test_zero_makespan_schedule(self, tmp_path):
+        # zero-duration sim spans (start == finish == 0) must export as
+        # valid zero-width 'X' slices, not crash or go negative
+        events = [
+            TraceEvent(
+                "sim_task",
+                0.0,
+                {"task": "t0", "start": 0.0, "finish": 0.0, "processors": [0]},
+            ),
+            TraceEvent(
+                "sim_task",
+                0.0,
+                {"task": "t1", "start": 0.0, "finish": 0.0, "processors": [1]},
+            ),
+        ]
+        doc = to_chrome_trace(events)
+        slices = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert len(slices) == 2
+        assert all(r["dur"] == 0.0 and r["ts"] == 0.0 for r in slices)
+        path = str(tmp_path / "zero.chrome.json")
+        write_chrome_trace(events, path)
+        with open(path) as fh:
+            json.load(fh)  # strict JSON, loadable
+
+    def test_inverted_span_clamps_duration(self):
+        # finish < start (a malformed or clock-skewed record) clamps to 0
+        ev = TraceEvent(
+            "sim_task",
+            0.0,
+            {"task": "t", "start": 5.0, "finish": 3.0, "processors": [0]},
+        )
+        (rec,) = [
+            r for r in to_chrome_trace([ev])["traceEvents"] if r["ph"] == "X"
+        ]
+        assert rec["dur"] == 0.0
+
+    def test_empty_trace_file(self, tmp_path):
+        src = str(tmp_path / "empty.jsonl")
+        open(src, "w").close()
+        assert read_jsonl(src) == []
+        doc = to_chrome_trace([])
+        # only the scheduler process_name metadata record remains
+        assert [r["ph"] for r in doc["traceEvents"]] == ["M"]
+        dst = str(tmp_path / "empty.chrome.json")
+        assert write_chrome_trace([], dst) == 1
+        with open(dst) as fh:
+            assert json.load(fh)["traceEvents"]
+
+    def test_blank_lines_in_jsonl_are_skipped(self, tmp_path):
+        path = str(tmp_path / "gappy.jsonl")
+        with open(path, "w") as fh:
+            fh.write("\n\n")
+            fh.write(json.dumps(TraceEvent("a", 1.0).to_dict()) + "\n\n")
+        assert [e.name for e in read_jsonl(path)] == ["a"]
+
+    def test_sim_event_without_processors_gets_lane_zero(self):
+        ev = TraceEvent(
+            "sim_task", 0.0, {"task": "t", "start": 0.0, "finish": 1.0}
+        )
+        doc = to_chrome_trace([ev])
+        (rec,) = [r for r in doc["traceEvents"] if r["ph"] == "X"]
+        assert rec["tid"] == 0
+
+    def test_absorb_twice_with_same_spool_stays_consistent(self):
+        # absorb() appends what it is given: feeding the same spool twice
+        # doubles the events, and the counters/timers must track exactly —
+        # never drift from the event list
+        spool = [
+            TraceEvent("task_placed", 1.0, {"task": "a"}),
+            TraceEvent("locbs_schedule", 2.0, {}, 0.25),
+        ]
+        tr = Tracer()
+        tr.absorb(spool)
+        tr.absorb(spool)
+        assert len(tr.events) == 4
+        assert tr.counters.get("task_placed") == 2
+        assert tr.counters.get("locbs_schedule") == 2
+        assert tr.timers.get("locbs_schedule").count == 2
+        assert tr.events_by_type() == {"task_placed": 2, "locbs_schedule": 2}
+        # the doubled trace still exports deterministically
+        assert to_chrome_trace(tr) == to_chrome_trace(tr)
+
+
 class TestInstrumentation:
     def test_scheduler_emits_typed_events(self):
         tr = Tracer()
