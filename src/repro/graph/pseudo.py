@@ -5,6 +5,17 @@ could only start when ``a`` released processors, although no data flows
 between them) are recorded as zero-weight *pseudo-edges*. The critical path
 of this augmented DAG is the longest chain in the actual schedule, and is
 what the LoC-MPS allocation loop shortens each iteration (paper Fig 1).
+
+The graph is stored as plain dict adjacency rather than a
+:class:`networkx.DiGraph`: one ``G'`` is built per LoCBS run and its
+critical path re-queried on every look-ahead step, which made the
+generic-graph overhead (attribute dicts per edge, view objects per
+traversal) a measurable slice of scheduling wall-clock. The critical path
+is cached per instance — pseudo-edge insertion invalidates it — and the
+level/walk arithmetic replicates :mod:`repro.graph.dag_ops` operation for
+operation, so the path is bit-identical to running
+:func:`repro.graph.dag_ops.critical_path` on the equivalent
+:class:`networkx.DiGraph` (property-tested in ``tests/test_pseudo.py``).
 """
 
 from __future__ import annotations
@@ -14,7 +25,6 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 import networkx as nx
 
 from repro.exceptions import CycleError, GraphError
-from repro.graph.dag_ops import critical_path as _critical_path
 from repro.graph.taskgraph import TaskGraph
 
 __all__ = ["ScheduleDAG"]
@@ -34,24 +44,36 @@ class ScheduleDAG:
         Pseudo-edges always weigh zero.
     """
 
+    __slots__ = ("base", "_vw", "_nodes", "_succ", "_pred", "_ew", "_ps", "_cp")
+
     def __init__(
         self,
         base: TaskGraph,
         vertex_weights: Mapping[str, float],
         edge_weights: Mapping[Tuple[str, str], float],
     ) -> None:
-        missing = set(base.tasks()) - set(vertex_weights)
+        tasks = list(base.tasks())
+        missing = set(tasks) - set(vertex_weights)
         if missing:
             raise GraphError(f"vertex_weights missing tasks: {sorted(missing)!r}")
         self.base = base
-        self._vw: Dict[str, float] = {t: float(vertex_weights[t]) for t in base.tasks()}
-        self._g = nx.DiGraph()
-        self._g.add_nodes_from(base.tasks())
+        self._vw: Dict[str, float] = {t: float(vertex_weights[t]) for t in tasks}
+        self._nodes: List[str] = tasks
+        self._succ: Dict[str, List[str]] = {t: [] for t in tasks}
+        self._pred: Dict[str, List[str]] = {t: [] for t in tasks}
+        self._ew: Dict[Tuple[str, str], float] = {}
+        #: edge -> is-pseudo flag (doubles as the edge-existence set)
+        self._ps: Dict[Tuple[str, str], bool] = {}
         for u, v in base.edges():
             w = float(edge_weights.get((u, v), 0.0))
             if w < 0:
                 raise GraphError(f"negative edge weight on {u!r} -> {v!r}: {w}")
-            self._g.add_edge(u, v, weight=w, pseudo=False)
+            self._succ[u].append(v)
+            self._pred[v].append(u)
+            self._ew[(u, v)] = w
+            self._ps[(u, v)] = False
+        #: cached (length, path) — invalidated by add_pseudo_edge
+        self._cp: Tuple[float, List[str]] | None = None
 
     # -- construction ------------------------------------------------------------
 
@@ -61,15 +83,35 @@ class ScheduleDAG:
         A pseudo-edge that parallels an existing real edge is a no-op (the
         real dependence already orders the pair). Cycles are rejected.
         """
-        if src not in self._g or dst not in self._g:
+        if src not in self._vw or dst not in self._vw:
             raise GraphError(f"pseudo-edge endpoints unknown: {src!r}, {dst!r}")
         if src == dst:
             raise CycleError(f"pseudo self-loop on {src!r}")
-        if self._g.has_edge(src, dst):
+        if (src, dst) in self._ps:
             return
-        if nx.has_path(self._g, dst, src):
+        if self._has_path(dst, src):
             raise CycleError(f"pseudo-edge {src!r} -> {dst!r} would create a cycle")
-        self._g.add_edge(src, dst, weight=0.0, pseudo=True)
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+        self._ew[(src, dst)] = 0.0
+        self._ps[(src, dst)] = True
+        self._cp = None
+
+    def _has_path(self, a: str, b: str) -> bool:
+        """Iterative DFS reachability ``a ->* b`` (used by cycle rejection)."""
+        if a == b:
+            return True
+        succ = self._succ
+        seen = {a}
+        stack = [a]
+        while stack:
+            for w in succ[stack.pop()]:
+                if w == b:
+                    return True
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return False
 
     # -- weights -----------------------------------------------------------------
 
@@ -77,30 +119,114 @@ class ScheduleDAG:
         return self._vw[t]
 
     def edge_weight(self, u: str, v: str) -> float:
-        return self._g.edges[u, v]["weight"]
+        return self._ew[(u, v)]
 
     def is_pseudo(self, u: str, v: str) -> bool:
-        return self._g.edges[u, v]["pseudo"]
+        return self._ps[(u, v)]
 
     def pseudo_edges(self) -> List[Tuple[str, str]]:
+        ps = self._ps
         return [
-            (u, v) for u, v, d in self._g.edges(data=True) if d["pseudo"]
+            (u, v) for u in self._nodes for v in self._succ[u] if ps[(u, v)]
         ]
 
     def real_edges(self) -> List[Tuple[str, str]]:
+        ps = self._ps
         return [
-            (u, v) for u, v, d in self._g.edges(data=True) if not d["pseudo"]
+            (u, v) for u in self._nodes for v in self._succ[u] if not ps[(u, v)]
         ]
 
     def nx_graph(self) -> nx.DiGraph:
-        """Underlying graph (treat as read-only)."""
-        return self._g
+        """The equivalent :class:`networkx.DiGraph` (built on demand).
+
+        Materialized only when asked for — nothing on the scheduling hot
+        path needs it; it exists for external analyses and the differential
+        tests that hold this class equal to the generic-graph algorithms.
+        """
+        g = nx.DiGraph()
+        g.add_nodes_from(self._nodes)
+        for u in self._nodes:
+            for v in self._succ[u]:
+                g.add_edge(u, v, weight=self._ew[(u, v)], pseudo=self._ps[(u, v)])
+        return g
 
     # -- critical-path analysis ----------------------------------------------------
 
+    def _bottom_levels(self) -> Dict[str, float]:
+        """``bottomL(v)`` for every vertex — dag_ops.bottom_levels verbatim.
+
+        Same Kahn topological visit and the same comparison-based
+        relaxation maxima, so every level is the bit-identical float.
+        """
+        succ = self._succ
+        indeg = {v: len(self._pred[v]) for v in self._nodes}
+        order = [v for v in self._nodes if indeg[v] == 0]
+        for v in order:  # grows while iterating: classic in-place Kahn
+            for w in succ[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    order.append(w)
+        if len(order) != len(indeg):
+            raise CycleError("graph contains a cycle; level analyses need a DAG")
+        vw, ew = self._vw, self._ew
+        levels: Dict[str, float] = {}
+        for v in reversed(order):
+            best = 0.0
+            for w in succ[v]:
+                cand = ew[(v, w)] + levels[w]
+                if cand > best:
+                    best = cand
+            levels[v] = vw[v] + best
+        return levels
+
     def critical_path(self) -> Tuple[float, List[str]]:
-        """``(length, vertices)`` of the schedule's critical path."""
-        return _critical_path(self._g, self.vertex_weight, self.edge_weight)
+        """``(length, vertices)`` of the schedule's critical path.
+
+        Cached — ``G'`` is immutable once the scheduler has added its
+        pseudo-edges, and the look-ahead loop re-reads the path many times.
+        The walk replicates :func:`repro.graph.dag_ops.critical_path`:
+        start vertex is the minimum by ``(-bottomL, name)``, each step takes
+        the first sorted successor whose level closes the telescoping sum
+        within the same relative tolerance, with the same max-keyed
+        fallback.
+        """
+        if self._cp is None:
+            self._cp = self._compute_cp()
+        length, path = self._cp
+        return length, list(path)
+
+    def _compute_cp(self) -> Tuple[float, List[str]]:
+        if not self._nodes:
+            return 0.0, []
+        bottoms = self._bottom_levels()
+        start = min(self._nodes, key=lambda v: (-bottoms[v], v))
+        vw, ew, succ_map = self._vw, self._ew, self._succ
+        path = [start]
+        cur = start
+        while True:
+            succs = succ_map[cur]
+            if not succs:
+                break
+            # The true continuation satisfies
+            # bottomL(cur) == wt(cur) + edge(cur, nxt) + bottomL(nxt).
+            target = bottoms[cur] - vw[cur]
+            best_next = None
+            for w in sorted(succs):
+                if abs(ew[(cur, w)] + bottoms[w] - target) <= 1e-9 * max(
+                    1.0, abs(target)
+                ) + 1e-12:
+                    best_next = w
+                    break
+            if best_next is None:
+                # Numerical slack: fall back to the max-valued successor.
+                best_next = max(
+                    succs, key=lambda w: (ew[(cur, w)] + bottoms[w], w)
+                )
+                if ew[(cur, best_next)] + bottoms[best_next] <= 0:
+                    break
+            path.append(best_next)
+            cur = best_next
+        return bottoms[start], path
 
     def path_costs(self, path: Iterable[str]) -> Tuple[float, float]:
         """``(Tcomp, Tcomm)`` decomposition of a vertex path.
@@ -111,10 +237,12 @@ class ScheduleDAG:
         verts = list(path)
         tcomp = sum(self._vw[v] for v in verts)
         tcomm = 0.0
+        ew = self._ew
         for u, v in zip(verts, verts[1:]):
-            if not self._g.has_edge(u, v):
+            w = ew.get((u, v))
+            if w is None:
                 raise GraphError(f"path step {u!r} -> {v!r} is not an edge of G'")
-            tcomm += self._g.edges[u, v]["weight"]
+            tcomm += w
         return tcomp, tcomm
 
     def real_edges_on_path(self, path: Iterable[str]) -> List[Tuple[str, str, float]]:
@@ -122,14 +250,14 @@ class ScheduleDAG:
         verts = list(path)
         out: List[Tuple[str, str, float]] = []
         for u, v in zip(verts, verts[1:]):
-            data = self._g.edges[u, v]
-            if not data["pseudo"]:
-                out.append((u, v, data["weight"]))
+            if not self._ps[(u, v)]:
+                out.append((u, v, self._ew[(u, v)]))
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_pseudo = sum(1 for flag in self._ps.values() if flag)
         return (
-            f"ScheduleDAG(tasks={self._g.number_of_nodes()}, "
-            f"real_edges={len(self.real_edges())}, "
-            f"pseudo_edges={len(self.pseudo_edges())})"
+            f"ScheduleDAG(tasks={len(self._nodes)}, "
+            f"real_edges={len(self._ps) - n_pseudo}, "
+            f"pseudo_edges={n_pseudo})"
         )

@@ -119,8 +119,12 @@ def deep_dag(
     for prev, cur in zip(layers, layers[1:]):
         for i, t in enumerate(cur):
             # same-index parent plus one rotating neighbour: connected but
-            # not so dense that the layer serializes on communication
-            for u in {prev[i], prev[(i + 1) % width]}:
+            # not so dense that the layer serializes on communication.
+            # Deduped with an insertion-ordered dict, NOT a set: string-set
+            # iteration order varies with PYTHONHASHSEED, which made the
+            # edge insertion order — and through tie-breaking, the whole
+            # benchmark schedule — differ from process to process.
+            for u in dict.fromkeys((prev[i], prev[(i + 1) % width])):
                 g.add_edge(u, t, float(rng.uniform(0.1, 1.0)) * ccr_volume)
     return g
 

@@ -16,8 +16,16 @@ claim stays checkable forever:
   reference LoCBS with no cross-call cost cache (the allocation memo is
   kept: it predates the incremental engine).
 
-Property tests (``tests/test_perf_equivalence.py``) assert fast == naive
-on randomized inputs, and the ``BENCH_hotpath.json`` harness
+The reference LoCBS runs on the frozen *scalar* chart and redistribution
+code preserved in :mod:`repro.perf.scalar_oracles`
+(:class:`ScalarProcessorTimeline`, the per-period-slot block-cyclic
+loops), re-exported here as callable oracles — so the baseline arm stays
+pinned to the pre-numpy implementations and never silently inherits the
+array-native speedups.
+
+Property tests (``tests/test_perf_equivalence.py``) and the differential
+battery (``tests/test_array_equivalence.py``) assert fast == naive on
+randomized inputs, and the ``BENCH_hotpath.json`` harness
 (:mod:`repro.perf.hotpath`) times optimized vs. reference to report the
 speedup.
 """
@@ -33,8 +41,16 @@ from repro.exceptions import ScheduleError
 from repro.graph import TaskGraph, bottom_levels
 from repro.graph.pseudo import ScheduleDAG
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.redistribution import RedistributionModel
-from repro.schedule import PlacedTask, ProcessorTimeline, Schedule
+from repro.perf.scalar_oracles import (
+    ScalarIdleSweep,
+    ScalarProcessorTimeline,
+    local_fraction_scalar,
+    pair_fractions_scalar,
+    single_port_time_scalar,
+    transfer_time_scalar,
+    volume_matrix_scalar,
+)
+from repro.schedule import PlacedTask, Schedule
 from repro.schedulers.base import (
     SchedulingResult,
     clamp_allocation,
@@ -49,7 +65,43 @@ __all__ = [
     "scan_blockers",
     "locbs_schedule_reference",
     "ReferenceLocMpsScheduler",
+    "ScalarProcessorTimeline",
+    "ScalarIdleSweep",
+    "ReferenceRedistributionModel",
+    "pair_fractions_scalar",
+    "volume_matrix_scalar",
+    "local_fraction_scalar",
+    "transfer_time_scalar",
+    "single_port_time_scalar",
 ]
+
+
+class ReferenceRedistributionModel:
+    """Scalar-oracle counterpart of :class:`RedistributionModel`.
+
+    Times block-cyclic redistributions through the frozen per-period-slot
+    loops of :mod:`repro.perf.scalar_oracles`, so the reference scheduling
+    arm never touches the vectorized pattern math.
+    """
+
+    __slots__ = ("cluster",)
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def transfer_time(
+        self, src_procs: Sequence[int], dst_procs: Sequence[int], volume: float
+    ) -> float:
+        return transfer_time_scalar(
+            src_procs, dst_procs, volume, self.cluster.bandwidth
+        )
+
+    def single_port_time(
+        self, src_procs: Sequence[int], dst_procs: Sequence[int], volume: float
+    ) -> float:
+        return single_port_time_scalar(
+            src_procs, dst_procs, volume, self.cluster.bandwidth
+        )
 
 
 def scan_blockers(
@@ -102,7 +154,7 @@ def locbs_schedule_reference(
     """
     tracer = tracer or NULL_TRACER
     alloc = clamp_allocation(graph, cluster, allocation)
-    model = RedistributionModel(cluster)
+    model = ReferenceRedistributionModel(cluster)
     g = graph.nx_graph()
 
     est_costs = edge_cost_map(graph, cluster, alloc, comm_blind=options.comm_blind)
@@ -117,7 +169,7 @@ def locbs_schedule_reference(
         max_in = max((est_costs[(u, t)] for u in preds), default=0.0)
         return bl[t] + max_in
 
-    timeline = ProcessorTimeline(cluster.processors)
+    timeline = ScalarProcessorTimeline(cluster.processors)
     if context is not None:
         for proc, ready_time in context.processor_ready.items():
             if ready_time > 0:
@@ -174,8 +226,8 @@ def _place_task_naive(
     graph: TaskGraph,
     cluster: Cluster,
     alloc: Mapping[str, int],
-    model: RedistributionModel,
-    timeline: ProcessorTimeline,
+    model: ReferenceRedistributionModel,
+    timeline: ScalarProcessorTimeline,
     schedule: Schedule,
     options: LocbsOptions,
     context: Optional["SchedulingContext"] = None,
@@ -312,7 +364,7 @@ def _time_placement_naive(
     tau: float,
     et: float,
     parent_info: Sequence[Tuple[str, Tuple[int, ...], float, float]],
-    model: RedistributionModel,
+    model: ReferenceRedistributionModel,
     overlap: bool,
 ) -> Tuple[float, float, float]:
     """The seed placement timing (identical arithmetic to the fast path)."""

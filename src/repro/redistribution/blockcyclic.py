@@ -17,6 +17,7 @@ for the paper's workloads — this equals the discrete count to rounding.
 from __future__ import annotations
 
 from functools import lru_cache
+from math import gcd
 from types import MappingProxyType
 from typing import Dict, Mapping, Sequence, Tuple
 
@@ -54,15 +55,25 @@ def pair_fractions(
     Fractions sum to exactly 1. Cached (the scheduler evaluates the same
     source-set/candidate-set pairs repeatedly during slot search), so the
     returned mapping is read-only.
+
+    Built as a vectorized index intersection instead of walking the
+    ``L = lcm(p, q)`` period: block slot ``i`` pairs positions
+    ``(i mod p, i mod q)``, and by the Chinese Remainder Theorem a position
+    pair ``(a, b)`` occurs in the period iff ``a ≡ b (mod gcd(p, q))`` —
+    then exactly once. Since the ordered layouts are duplicate-free, every
+    surviving pair therefore carries exactly ``1 / L`` of the data; no
+    accumulation happens, which is also what makes this bit-identical to
+    the frozen scalar walk (``repro.perf.scalar_oracles``).
     """
     p, q = len(src), len(dst)
-    period = lcm(p, q)
-    frac = 1.0 / period
-    out: Dict[Tuple[int, int], float] = {}
-    for i in range(period):
-        key = (src[i % p], dst[i % q])
-        out[key] = out.get(key, 0.0) + frac
-    return MappingProxyType(out)
+    g = gcd(p, q)
+    frac = 1.0 / lcm(p, q)
+    # all (a, b) with b ≡ a (mod g): b = (a mod g) + g*k, k < q/g
+    a = _np.repeat(_np.arange(p), q // g)
+    b = (a % g) + g * _np.tile(_np.arange(q // g), p)
+    s = _np.asarray(src, dtype=_np.int64)[a].tolist()
+    d = _np.asarray(dst, dtype=_np.int64)[b].tolist()
+    return MappingProxyType({pair: frac for pair in zip(s, d)})
 
 
 def volume_matrix(
@@ -109,20 +120,26 @@ def _local_fraction_cached(src: Tuple[int, ...], dst: Tuple[int, ...]) -> float:
 
     Identical tuples short-circuit without touching the pattern: every block
     stays put when source and destination layouts coincide. Disjoint sets
-    short-circuit to zero. The general case vectorizes the lcm-period match
-    count with NumPy instead of materializing the pair dictionary.
+    short-circuit to zero. The general case runs in O(p + q) via the CRT
+    identity (a block at source position ``a`` meets destination position
+    ``b`` iff ``a ≡ b (mod gcd)``, exactly once per period): a processor
+    common to both layouts keeps its blocks iff its two positions agree
+    modulo ``gcd(p, q)``. This never materializes the lcm period, so
+    coprime layout sizes cannot blow up memory or overflow ``arange``.
     """
     if src == dst:
         return 1.0
     if not set(src) & set(dst):
         return 0.0
     p, q = len(src), len(dst)
-    period = lcm(p, q)
-    idx = _np.arange(period)
-    s = _np.asarray(src, dtype=_np.int64)
-    d = _np.asarray(dst, dtype=_np.int64)
-    hits = int(_np.count_nonzero(s[idx % p] == d[idx % q]))
-    return hits / period
+    g = gcd(p, q)
+    pos = {v: i for i, v in enumerate(src)}
+    hits = 0
+    for b, v in enumerate(dst):
+        a = pos.get(v)
+        if a is not None and (a - b) % g == 0:
+            hits += 1
+    return hits / lcm(p, q)
 
 
 def nonlocal_fraction(src: Sequence[int], dst: Sequence[int]) -> float:

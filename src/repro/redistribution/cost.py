@@ -14,13 +14,16 @@ Two levels of fidelity, matching how the paper uses them:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from math import gcd
+from typing import Sequence
 
 from repro.cluster import Cluster
 from repro.redistribution.blockcyclic import (
+    _as_proc_tuple,
     _local_fraction_cached,
     volume_matrix,
 )
+from repro.utils.mathx import lcm
 from repro.utils.validation import check_non_negative, check_positive_int
 
 __all__ = ["RedistributionModel", "estimate_edge_cost"]
@@ -86,17 +89,37 @@ class RedistributionModel:
         check_non_negative(volume, "volume")
         if volume == 0.0:
             return 0.0
-        mat = volume_matrix(src_procs, dst_procs, volume)
-        sent: Dict[int, float] = {}
-        received: Dict[int, float] = {}
-        for (sp, dp), v in mat.items():
-            if sp == dp:
-                continue
-            sent[sp] = sent.get(sp, 0.0) + v
-            received[dp] = received.get(dp, 0.0) + v
-        if not sent:
+        # Every pair of the block-cyclic matrix carries exactly
+        # (1/lcm) * volume bytes (see pair_fractions), so a port's load is
+        # an iterated sum of identical floats — it depends only on the
+        # port's off-diagonal pair *count*, and iterated sums of a positive
+        # constant are monotone in the count. The busiest port is therefore
+        # the one with the most off-diagonal pairs; CRT gives the counts in
+        # O(p + q) without materializing the lcm-period matrix.
+        s = _as_proc_tuple(src_procs, "source")
+        d = _as_proc_tuple(dst_procs, "destination")
+        p, q = len(s), len(d)
+        g = gcd(p, q)
+        pos = {v: i for i, v in enumerate(s)}
+        diag_src = 0
+        diag_dst = 0
+        for b, v in enumerate(d):
+            a = pos.get(v)
+            if a is not None and (a - b) % g == 0:
+                diag_src += 1
+                diag_dst += 1
+        # a source position pairs with q/g destinations (one diagonal at
+        # most); max over ports, and symmetrically for receivers
+        k_send = q // g - (1 if diag_src == p else 0)
+        k_recv = p // g - (1 if diag_dst == q else 0)
+        k = max(k_send, k_recv)
+        if k <= 0:
             return 0.0
-        busiest = max(max(sent.values()), max(received.values()))
+        frac = 1.0 / lcm(p, q)
+        per_pair = frac * volume
+        busiest = 0.0
+        for _ in range(k):
+            busiest += per_pair
         return busiest / self.cluster.bandwidth
 
     def phased_time(

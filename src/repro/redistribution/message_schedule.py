@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Mapping, Set, Tuple
 
+import numpy as np
+
 from repro.exceptions import RedistributionError
 from repro.utils.validation import check_positive
 
@@ -111,23 +113,37 @@ def build_phase_schedule(
 ) -> MessageSchedule:
     """Phase the messages of *volume_matrix* (local entries are dropped).
 
-    First-fit decreasing: messages sorted by volume, each into the earliest
-    phase with both ports free. Deterministic for a given matrix.
+    First-fit decreasing: messages sorted by volume (ties broken by
+    ``(src, dst)``, a total order since pairs are unique), each into the
+    earliest phase with both ports free. Deterministic for a given matrix.
+    The decreasing order comes from one ``np.lexsort`` over the matrix
+    columns, and each phase's occupied ports are tracked incrementally so
+    admission is two set probes instead of rebuilding the port sets.
     """
-    messages = [
-        Message(src=sp, dst=dp, volume=v)
-        for (sp, dp), v in sorted(volume_matrix.items())
+    triples = [
+        (sp, dp, v)
+        for (sp, dp), v in volume_matrix.items()
         if sp != dp and v > 0
     ]
-    messages.sort(key=lambda m: (-m.volume, m.src, m.dst))
     phases: List[Phase] = []
-    for message in messages:
-        for phase in phases:
-            if phase.admits(message):
+    if not triples:
+        return MessageSchedule(phases=phases)
+    srcs = np.array([t[0] for t in triples], dtype=np.int64)
+    dsts = np.array([t[1] for t in triples], dtype=np.int64)
+    vols = np.array([t[2] for t in triples])
+    order = np.lexsort((dsts, srcs, -vols))
+    ports: List[Tuple[Set[int], Set[int]]] = []  # (senders, receivers) per phase
+    for i in order.tolist():
+        message = Message(src=triples[i][0], dst=triples[i][1], volume=triples[i][2])
+        for phase, (senders, receivers) in zip(phases, ports):
+            if message.src not in senders and message.dst not in receivers:
                 phase.messages.append(message)
+                senders.add(message.src)
+                receivers.add(message.dst)
                 break
         else:
             phases.append(Phase(messages=[message]))
+            ports.append(({message.src}, {message.dst}))
     schedule = MessageSchedule(phases=phases)
     schedule.validate()
     return schedule

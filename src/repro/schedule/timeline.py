@@ -10,9 +10,37 @@ chart incrementally as tasks are placed and answers the queries LoCBS needs:
 * feasibility of a concrete rectangle ``(procs, [start, end))``;
 * per-processor *latest free time* for the cheaper no-backfill variant.
 
-The slot search dominates the whole library's runtime, so busy intervals
-are stored as parallel sorted ``starts``/``ends`` lists per processor and
-queried with :mod:`bisect` instead of object-based interval sets.
+The slot search dominates the whole library's runtime, so the chart is
+**array-native**: busy spans live in two padded ``(P, cap)`` float64
+matrices (``starts``/``ends``, row-sorted, padded with ``+inf``) so a
+single broadcast ``searchsorted``-equivalent — ``(ends <= t+EPS).sum(1)``
+followed by one fancy gather — classifies every processor at once. The
+``+inf`` padding keeps every row sorted and makes the "no further busy
+interval" case fall out of the same gather instead of a branch. Batch
+entry points (:meth:`holes_batch`, :meth:`fits_rows`) answer whole blocks
+of candidate start times per call for the vectorized LoCBS hole scan.
+
+Alongside the matrices, three *global* sorted structures are maintained
+incrementally (one ``bisect`` + slice-insert each per reservation):
+
+* ``_all_starts`` / ``_all_ends`` — every span boundary with multiplicity,
+  which turn the machine-wide busy count at any instant into two binary
+  searches (``#busy(t) = #{starts <= t+EPS} - #{ends <= t+EPS}``, exact
+  while no row holds spans that strictly overlap within ``EPS`` — see
+  :attr:`counts_exact`);
+* ``_ends_unique`` — the deduplicated release times, so the slot search's
+  candidate list is a slice instead of an O(intervals) rebuild.
+
+The scalar API is bit-compatible with the frozen pre-numpy chart
+(:class:`repro.perf.scalar_oracles.ScalarProcessorTimeline`) — the
+differential battery in ``tests/test_array_equivalence.py`` holds the two
+implementations equal on every query.
+
+Determinism contract: all returned times are Python floats produced by the
+same IEEE-754 operations as the scalar code (comparisons against
+``t + EPS``, no re-association), and all orderings are machine order — so
+schedules built on this chart stay bit-identical to the golden
+fingerprints in ``tests/golden/scheduler_golden.json``.
 """
 
 from __future__ import annotations
@@ -22,16 +50,66 @@ from bisect import bisect_left, bisect_right, insort
 from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.exceptions import ScheduleError
 from repro.utils.intervals import EPS, Interval, IntervalSet
 
 __all__ = ["IdleSweep", "ProcessorTimeline"]
 
+#: initial per-processor capacity (columns); doubled on demand
+_INIT_CAP = 8
+
+
+def _array_insert(arr: np.ndarray, i: int, value: float, k: int) -> np.ndarray:
+    """*arr* with *k* copies of *value* inserted at position *i*.
+
+    Three slice copies into a fresh buffer — ``np.insert`` does the same
+    work through axis normalization it doesn't need here, at ~10x the cost
+    (this runs twice per reservation).
+    """
+    n = arr.size
+    out = np.empty(n + k)
+    out[:i] = arr[:i]
+    out[i : i + k] = value
+    out[i + k :] = arr[i:]
+    return out
+
 
 class ProcessorTimeline:
-    """Busy-interval bookkeeping for a fixed set of processors."""
+    """Busy-interval bookkeeping for a fixed set of processors.
 
-    __slots__ = ("_procs", "_starts", "_ends", "_release_times")
+    Rows of the padded ``(P, cap)`` span matrices are indexed by *row*
+    (machine order); ``_row`` maps processor ids to rows. At least one
+    ``+inf`` padding column is maintained after every row's spans so
+    gathers at ``index == count`` read ``inf`` instead of falling off the
+    end. ``_starts_l``/``_ends_l`` mirror each row as plain Python lists:
+    the scalar probes of the slot search (one processor, one instant) beat
+    numpy's per-call overhead by an order of magnitude on ``bisect`` over
+    a small list, while the matrices serve the broadcast queries.
+    Processor sets passed to :meth:`reserve` must be duplicate-free (every
+    caller passes a placement's processor tuple, which is).
+    """
+
+    __slots__ = (
+        "_procs",
+        "_row",
+        "_starts2d",
+        "_ends2d",
+        "_starts_l",
+        "_ends_l",
+        "_counts",
+        "_cap",
+        "_prange",
+        "_release_times",
+        "_all_starts",
+        "_all_ends",
+        "_all_starts_np",
+        "_all_ends_np",
+        "_ends_unique",
+        "_eps_chain",
+        "_eps_overlap",
+    )
 
     def __init__(self, processors: Sequence[int]) -> None:
         procs = tuple(int(p) for p in processors)
@@ -40,10 +118,36 @@ class ProcessorTimeline:
         if len(set(procs)) != len(procs):
             raise ScheduleError(f"duplicate processors: {procs!r}")
         self._procs: Tuple[int, ...] = procs
-        self._starts: Dict[int, List[float]] = {p: [] for p in procs}
-        self._ends: Dict[int, List[float]] = {p: [] for p in procs}
-        #: global sorted list of busy-interval end times (with duplicates)
+        self._row: Dict[int, int] = {p: i for i, p in enumerate(procs)}
+        n = len(procs)
+        self._cap = _INIT_CAP
+        self._starts2d = np.full((n, self._cap), math.inf)
+        self._ends2d = np.full((n, self._cap), math.inf)
+        #: per-row Python mirrors of the span matrices (scalar hot path)
+        self._starts_l: List[List[float]] = [[] for _ in range(n)]
+        self._ends_l: List[List[float]] = [[] for _ in range(n)]
+        #: per-row span counts (Python ints for cheap scalar paths)
+        self._counts: List[int] = [0] * n
+        self._prange = np.arange(n)
+        #: global sorted list of busy-interval end times (one per reserve)
         self._release_times: List[float] = []
+        #: global sorted boundaries with per-processor multiplicity, kept
+        #: both as Python lists (scalar bisect) and numpy arrays (the slot
+        #: search filters whole candidate blocks with one searchsorted)
+        self._all_starts: List[float] = []
+        self._all_ends: List[float] = []
+        self._all_starts_np = np.empty(0)
+        self._all_ends_np = np.empty(0)
+        #: sorted end times, exact duplicates removed
+        self._ends_unique: List[float] = []
+        #: True once two *distinct* end times sit within EPS of each other
+        #: (the EPS-chain collapse of release_times then differs from plain
+        #: dedup, so the fast slice is disabled)
+        self._eps_chain = False
+        #: True once some row holds spans that strictly overlap inside the
+        #: EPS tolerance (the global busy count then over-counts; see
+        #: :attr:`counts_exact`)
+        self._eps_overlap = False
 
     # -- basic accessors ---------------------------------------------------------
 
@@ -51,41 +155,124 @@ class ProcessorTimeline:
     def processors(self) -> Tuple[int, ...]:
         return self._procs
 
+    @property
+    def counts_exact(self) -> bool:
+        """True while ``#busy(t) = #{starts <= t+EPS} - #{ends <= t+EPS}``.
+
+        Holds unless a reservation was accepted whose span strictly
+        overlaps a neighbour within the ``EPS`` feasibility tolerance
+        (then one row can contribute 2 to the difference). Consumers of
+        the binary-search busy count must fall back to a full
+        classification when this is False.
+        """
+        return not self._eps_overlap
+
     def busy_intervals(self, proc: int) -> IntervalSet:
         """The busy set of *proc* as an :class:`IntervalSet` (a copy)."""
+        r = self._row[proc]
         return IntervalSet(
             Interval(s, e)
-            for s, e in zip(self._starts[proc], self._ends[proc])
+            for s, e in zip(self._starts_l[r], self._ends_l[r])
         )
 
+    def rows_of(self, procs: Iterable[int]) -> np.ndarray:
+        """Row indices of *procs* for the batch entry points."""
+        row = self._row
+        return np.fromiter((row[p] for p in procs), dtype=np.intp)
+
     # -- mutation ------------------------------------------------------------------
+
+    def _grow(self, needed: int) -> None:
+        new_cap = self._cap
+        while new_cap < needed:
+            new_cap *= 2
+        n = len(self._procs)
+        starts = np.full((n, new_cap), math.inf)
+        ends = np.full((n, new_cap), math.inf)
+        starts[:, : self._cap] = self._starts2d
+        ends[:, : self._cap] = self._ends2d
+        self._starts2d, self._ends2d, self._cap = starts, ends, new_cap
 
     def reserve(self, procs: Iterable[int], start: float, end: float) -> None:
         """Mark ``[start, end)`` busy on *procs*; overlap raises.
 
         Zero-length reservations (``end <= start``) are ignored — they occur
         when a task's occupancy collapses (e.g. zero-cost redistribution
-        before a zero-time task) and occupy nothing.
+        before a zero-time task) and occupy nothing. The feasibility check
+        runs on every processor before any row is touched, so a conflict
+        leaves the chart unmodified.
         """
         if end - start <= EPS:
             return
         plist = list(procs)
-        for p in plist:
-            if not self._fits(p, start, end):
+        row_of = self._row
+        rowlist = [row_of[p] for p in plist]
+        counts = self._counts
+        starts_l, ends_l = self._starts_l, self._ends_l
+        tol = start + EPS
+        # feasibility on every row before mutating any (conflict atomicity);
+        # bisect_right(ends, start + EPS) is the index of the first span
+        # that could still cover the window
+        for p, r in zip(plist, rowlist):
+            idx = bisect_right(ends_l[r], tol)
+            if idx < counts[r] and starts_l[r][idx] < end - EPS:
                 raise ScheduleError(
                     f"processor {p} already busy during [{start:g}, {end:g})"
                 )
-        for p in plist:
-            idx = bisect_left(self._starts[p], start)
-            self._starts[p].insert(idx, start)
-            self._ends[p].insert(idx, end)
+        top = max(counts[r] for r in rowlist)
+        if top + 2 > self._cap:
+            self._grow(top + 2)
+        starts2d, ends2d = self._starts2d, self._ends2d
+        for r in rowlist:
+            sl, el = starts_l[r], ends_l[r]
+            idx = bisect_left(sl, start)
+            # spans may abut within EPS; *strict* overlap inside the
+            # tolerance breaks the global busy-count identity
+            if (idx > 0 and el[idx - 1] > start) or (
+                idx < counts[r] and sl[idx] < end
+            ):
+                self._eps_overlap = True
+            sl.insert(idx, start)
+            el.insert(idx, end)
+            cnt = counts[r] + 1
+            counts[r] = cnt
+            starts2d[r, idx:cnt] = sl[idx:]
+            ends2d[r, idx:cnt] = el[idx:]
+        k = len(plist)
+        i = bisect_right(self._all_starts, start)
+        self._all_starts[i:i] = [start] * k
+        self._all_starts_np = _array_insert(self._all_starts_np, i, start, k)
+        i = bisect_right(self._all_ends, end)
+        self._all_ends[i:i] = [end] * k
+        self._all_ends_np = _array_insert(self._all_ends_np, i, end, k)
         insort(self._release_times, end)
+        eu = self._ends_unique
+        i = bisect_right(eu, end)
+        if i == 0 or eu[i - 1] != end:
+            if (i > 0 and end - eu[i - 1] <= EPS) or (
+                i < len(eu) and eu[i] - end <= EPS
+            ):
+                self._eps_chain = True
+            eu.insert(i, end)
+
+    def busy_count(self, t: float) -> int:
+        """Number of busy processors at instant *t* via two binary searches.
+
+        Exact iff :attr:`counts_exact` (it can only over-count otherwise);
+        the slot search uses ``P - busy_count(t)`` to skip candidate start
+        times with too few idle processors without classifying the machine.
+        """
+        tol = t + EPS
+        return bisect_right(self._all_starts, tol) - bisect_right(
+            self._all_ends, tol
+        )
 
     def _fits(self, proc: int, start: float, end: float) -> bool:
         """True if ``[start, end)`` overlaps no busy interval of *proc*."""
-        ends = self._ends[proc]
-        idx = bisect_right(ends, start + EPS)  # first interval ending after start
-        return idx == len(ends) or self._starts[proc][idx] >= end - EPS
+        r = self._row[proc]
+        el = self._ends_l[r]
+        idx = bisect_right(el, start + EPS)
+        return idx == self._counts[r] or self._starts_l[r][idx] >= end - EPS
 
     # -- hole / availability queries ----------------------------------------------
 
@@ -93,50 +280,95 @@ class ProcessorTimeline:
         """True if every processor in *procs* is idle through ``[start, end)``."""
         if end - start <= EPS:
             return True
-        return all(self._fits(p, start, end) for p in procs)
+        counts = self._counts
+        starts_l, ends_l = self._starts_l, self._ends_l
+        row_of = self._row
+        tol = start + EPS
+        lim = end - EPS
+        for p in procs:
+            r = row_of[p]
+            idx = bisect_right(ends_l[r], tol)
+            if idx < counts[r] and starts_l[r][idx] < lim:
+                return False
+        return True
+
+    def fits_rows(self, rows: np.ndarray, start: float, end: float) -> bool:
+        """:meth:`is_free` on pre-resolved row indices (batch entry point)."""
+        if end - start <= EPS:
+            return True
+        sub_e = self._ends2d[rows]
+        idx = (sub_e <= start + EPS).sum(axis=1)
+        vals = self._starts2d[rows, idx]
+        return bool((vals >= end - EPS).all())
 
     def free_at(self, proc: int, t: float) -> bool:
         """True if *proc* is idle at instant *t* (busy intervals half-open)."""
-        ends = self._ends[proc]
-        idx = bisect_right(ends, t + EPS)
-        return idx == len(ends) or self._starts[proc][idx] > t + EPS
+        r = self._row[proc]
+        tol = t + EPS
+        idx = bisect_right(self._ends_l[r], tol)
+        return idx == self._counts[r] or self._starts_l[r][idx] > tol
+
+    def free_horizon(self, proc: int, t: float) -> float:
+        """Next busy start of *proc* if idle at *t*, else ``-inf``.
+
+        The scalar hot-path fusion of :meth:`free_at` and
+        :meth:`free_until`: one bisect answers both "is it idle" and
+        "until when" (``inf`` when idle forever).
+        """
+        r = self._row[proc]
+        tol = t + EPS
+        idx = bisect_right(self._ends_l[r], tol)
+        if idx == self._counts[r]:
+            return math.inf
+        nxt = self._starts_l[r][idx]
+        return nxt if nxt > tol else -math.inf
 
     def free_until(self, proc: int, t: float) -> float:
         """First busy-interval start at or after *t* (inf if none).
 
         Only meaningful when the processor is idle at *t*.
         """
-        starts = self._starts[proc]
-        idx = bisect_left(starts, t - EPS)
-        return starts[idx] if idx < len(starts) else math.inf
+        r = self._row[proc]
+        sl = self._starts_l[r]
+        idx = bisect_left(sl, t - EPS)
+        return sl[idx] if idx < self._counts[r] else math.inf
 
     def idle_processors(self, t: float) -> List[int]:
         """Processors idle at instant *t*, in machine order."""
-        return [p for p in self._procs if self.free_at(p, t)]
+        tol = t + EPS
+        idx = (self._ends2d <= tol).sum(axis=1)
+        nxt = self._starts2d[self._prange, idx]
+        procs = self._procs
+        return [procs[i] for i in np.nonzero(nxt > tol)[0].tolist()]
 
     def idle_with_horizon(self, t: float) -> List[Tuple[int, float]]:
         """``(proc, next_busy_start)`` for every processor idle at *t*.
 
-        Hot path of the backfill slot search: locals are bound once and the
-        per-processor work is two list probes plus one bisect.
+        One broadcast classification of the whole machine: the padded-inf
+        gather returns ``inf`` for processors with no further busy span,
+        which is exactly the "idle forever" horizon.
         """
-        out: List[Tuple[int, float]] = []
-        append = out.append
         tol = t + EPS
-        inf = math.inf
-        starts_of = self._starts
-        ends_of = self._ends
-        for p in self._procs:
-            ends = ends_of[p]
-            n = len(ends)
-            if not n or ends[-1] <= tol:
-                append((p, inf))
-                continue
-            idx = bisect_right(ends, tol)
-            nxt = starts_of[p][idx]
-            if nxt > tol:
-                append((p, nxt))
-        return out
+        idx = (self._ends2d <= tol).sum(axis=1)
+        nxt = self._starts2d[self._prange, idx]
+        sel = np.nonzero(nxt > tol)[0].tolist()
+        horizons = nxt.tolist()
+        procs = self._procs
+        return [(procs[i], horizons[i]) for i in sel]
+
+    def holes_batch(self, taus: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Idle classification for a whole block of probe times at once.
+
+        Returns ``(free, nxt)``, both ``(len(taus), P)``: ``free[k, r]``
+        is True when row ``r`` is idle at ``taus[k]`` and ``nxt[k, r]`` is
+        its horizon (next busy start, ``inf`` when idle forever — the same
+        pairs :meth:`idle_with_horizon` yields per probe). ``nxt`` of busy
+        rows is meaningful only under the mask.
+        """
+        tol = taus + EPS
+        idx = (self._ends2d[None, :, :] <= tol[:, None, None]).sum(axis=2)
+        nxt = self._starts2d[self._prange[None, :], idx]
+        return nxt > tol[:, None], nxt
 
     def idle_sweep(self, start: float) -> "IdleSweep":
         """An :class:`IdleSweep` positioned at probe time *start*.
@@ -152,15 +384,28 @@ class ProcessorTimeline:
 
     def earliest_available(self, proc: int) -> float:
         """Latest busy end of *proc* (0 if never used) — the no-backfill EAT."""
-        ends = self._ends[proc]
-        return ends[-1] if ends else 0.0
+        r = self._row[proc]
+        el = self._ends_l[r]
+        return el[-1] if el else 0.0
 
     def release_times(self, after: float) -> List[float]:
         """Sorted deduplicated busy-interval end times strictly after *after*.
 
         These are the only instants where processors become idle, so the
         backfill slot search probes exactly ``{after} + release_times``.
+        Deduplication collapses chains of ends within ``EPS`` of the
+        previously *kept* value (not pairwise) — the scalar contract.
+
+        While every pair of *distinct* end times on the chart is more than
+        ``EPS`` apart (the overwhelmingly common case, tracked by
+        ``_eps_chain``), the chain collapse removes exactly the duplicates,
+        so the answer is a slice of the maintained unique-ends list; the
+        O(intervals) collapse only runs for charts that actually contain
+        sub-EPS chains.
         """
+        if not self._eps_chain:
+            eu = self._ends_unique
+            return eu[bisect_right(eu, after + EPS):]
         idx = bisect_right(self._release_times, after + EPS)
         out: List[float] = []
         prev = None
@@ -173,8 +418,8 @@ class ProcessorTimeline:
     def boundary_times(self, after: float) -> List[float]:
         """Sorted deduplicated interval starts *and* ends after *after*."""
         seen: Set[float] = set()
-        for p in self._procs:
-            for edge in self._starts[p] + self._ends[p]:
+        for r in range(len(self._procs)):
+            for edge in self._starts_l[r] + self._ends_l[r]:
                 if edge > after + EPS:
                     seen.add(edge)
         return sorted(seen)
@@ -200,10 +445,29 @@ class ProcessorTimeline:
     # -- invariants (used by property tests) ----------------------------------------
 
     def check_invariants(self) -> None:
-        """Raise if any processor's busy intervals are unsorted or overlap."""
-        for p in self._procs:
+        """Raise if any processor's busy intervals are unsorted or overlap.
+
+        Also verifies the numpy matrices, the Python row mirrors and the
+        global boundary lists agree — the representations are maintained
+        jointly by :meth:`reserve` and must never drift.
+        """
+        n_spans = 0
+        for i, p in enumerate(self._procs):
+            cnt = self._counts[i]
+            n_spans += cnt
+            sl, el = self._starts_l[i], self._ends_l[i]
+            if len(sl) != cnt or len(el) != cnt:
+                raise ScheduleError(f"processor {p} mirror length mismatch")
+            if self._starts2d[i, :cnt].tolist() != sl or self._ends2d[
+                i, :cnt
+            ].tolist() != el:
+                raise ScheduleError(f"processor {p} matrix/mirror drift")
+            if not bool(np.isinf(self._starts2d[i, cnt:]).all()) or not bool(
+                np.isinf(self._ends2d[i, cnt:]).all()
+            ):
+                raise ScheduleError(f"processor {p} padding corrupted")
             prev_end = -math.inf
-            for s, e in zip(self._starts[p], self._ends[p]):
+            for s, e in zip(sl, el):
                 if e - s <= EPS:
                     raise ScheduleError(f"processor {p} has empty busy interval")
                 if s < prev_end - EPS:
@@ -211,9 +475,22 @@ class ProcessorTimeline:
                         f"processor {p} busy intervals overlap near {s}"
                     )
                 prev_end = e
+        if len(self._all_starts) != n_spans or len(self._all_ends) != n_spans:
+            raise ScheduleError("global boundary lists out of sync")
+        if sorted(self._all_starts) != self._all_starts or sorted(
+            self._all_ends
+        ) != self._all_ends:
+            raise ScheduleError("global boundary lists unsorted")
+        if (
+            self._all_starts_np.tolist() != self._all_starts
+            or self._all_ends_np.tolist() != self._all_ends
+        ):
+            raise ScheduleError("global boundary arrays drifted from lists")
+        if sorted(set(self._all_ends)) != self._ends_unique:
+            raise ScheduleError("unique-ends list out of sync")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        busy = sum(len(s) for s in self._starts.values())
+        busy = sum(self._counts)
         return (
             f"ProcessorTimeline(P={len(self._procs)}, busy_intervals={busy}, "
             f"horizon={self.horizon():g})"
@@ -233,20 +510,19 @@ class IdleSweep:
     until ``end``, or idle forever — can only change when the probe time
     crosses that boundary, so boundaries are kept in a min-heap and each
     :meth:`advance` pops and reclassifies exactly the processors whose state
-    flipped. Construction costs one full classification (the work of a
-    single ``idle_with_horizon`` call); each advance is then amortized
-    O(flips log P) instead of O(P log intervals) per probe.
+    flipped. Construction is one broadcast classification of the whole
+    machine; each advance is then amortized O(flips log P) instead of
+    O(P log intervals) per probe.
 
-    The sweep snapshots nothing: it reads the timeline's interval lists in
+    The sweep snapshots nothing: it reads the timeline's span lists in
     place, so it is only valid while the timeline is not mutated. The slot
     search satisfies this by construction (it reserves only after the scan).
     """
 
-    __slots__ = ("_starts", "_ends", "_free", "_events")
+    __slots__ = ("_timeline", "_free", "_events")
 
     def __init__(self, timeline: ProcessorTimeline, start: float) -> None:
-        self._starts = timeline._starts
-        self._ends = timeline._ends
+        self._timeline = timeline
         #: idle processors -> next busy start (inf when idle forever)
         self._free: Dict[int, float] = {}
         #: min-heap of (boundary time, proc): the next classification flips
@@ -254,21 +530,20 @@ class IdleSweep:
         tol = start + EPS
         free = self._free
         events = self._events
-        starts_of = self._starts
-        ends_of = self._ends
-        inf = math.inf
-        for p in timeline._procs:
-            ends = ends_of[p]
-            if not ends or ends[-1] <= tol:
-                free[p] = inf  # idle forever: never reclassified
+        idx = (timeline._ends2d <= tol).sum(axis=1)
+        nxt = timeline._starts2d[timeline._prange, idx].tolist()
+        cur_end = timeline._ends2d[timeline._prange, idx].tolist()
+        counts = timeline._counts
+        idx_list = idx.tolist()
+        for i, p in enumerate(timeline._procs):
+            if idx_list[i] == counts[i]:
+                free[p] = math.inf  # idle forever: never reclassified
                 continue
-            idx = bisect_right(ends, tol)
-            nxt = starts_of[p][idx]
-            if nxt > tol:
-                free[p] = nxt
-                events.append((nxt, p))
+            if nxt[i] > tol:
+                free[p] = nxt[i]
+                events.append((nxt[i], p))
             else:
-                events.append((ends[idx], p))
+                events.append((cur_end[i], p))
         heapify(events)
 
     def advance(self, t: float) -> None:
@@ -278,22 +553,26 @@ class IdleSweep:
         if not events or events[0][0] > tol:
             return
         free = self._free
-        starts_of = self._starts
-        ends_of = self._ends
+        timeline = self._timeline
+        starts_l = timeline._starts_l
+        ends_l = timeline._ends_l
+        row_of = timeline._row
+        counts = timeline._counts
         while events and events[0][0] <= tol:
             p = heappop(events)[1]
-            ends = ends_of[p]
-            idx = bisect_right(ends, tol)
-            if idx == len(ends):
+            r = row_of[p]
+            el = ends_l[r]
+            idx = bisect_right(el, tol)
+            if idx == counts[r]:
                 free[p] = math.inf
                 continue
-            nxt = starts_of[p][idx]
+            nxt = starts_l[r][idx]
             if nxt > tol:
                 free[p] = nxt
                 heappush(events, (nxt, p))
             else:
                 free.pop(p, None)
-                heappush(events, (ends[idx], p))
+                heappush(events, (el[idx], p))
 
     def __len__(self) -> int:
         """Number of idle processors at the current probe time."""

@@ -76,6 +76,10 @@ class Schedule:
         self.cluster = cluster
         self.scheduler = scheduler
         self._placements: Dict[str, PlacedTask] = {}
+        #: frozen machine membership (the cluster's processor set never
+        #: changes, and place() runs once per inner placement of the slot
+        #: search, so the set is not rebuilt per call)
+        self._valid_procs = frozenset(cluster.processors)
         #: actual per-edge redistribution time, filled by the scheduler
         self.edge_comm_times: Dict[Tuple[str, str], float] = {}
         #: wall-clock seconds the scheduler spent computing this schedule
@@ -87,8 +91,7 @@ class Schedule:
         """Record a placement; duplicate tasks or foreign processors raise."""
         if placement.name in self._placements:
             raise ScheduleError(f"task {placement.name!r} placed twice")
-        valid = set(self.cluster.processors)
-        bad = set(placement.processors) - valid
+        bad = set(placement.processors) - self._valid_procs
         if bad:
             raise ScheduleError(
                 f"task {placement.name!r} uses unknown processors {sorted(bad)!r}"

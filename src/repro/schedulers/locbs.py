@@ -27,8 +27,11 @@ from __future__ import annotations
 
 import heapq
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro.cluster import Cluster
 from repro.exceptions import ScheduleError
@@ -370,6 +373,36 @@ def _place_task(
     # interior-hole flag of the winning placement (a backfill proper: at
     # least one chosen processor has a later reservation bounding the hole)
     best_interior = False
+
+    # Batch-vectorized scan (the hot path): classification and subset
+    # selection for whole blocks of candidate start times run as numpy
+    # array passes, while all *timing* arithmetic stays in the same scalar
+    # operations as the reference loop below — so the two paths are
+    # bit-identical (differentially tested in
+    # ``tests/test_array_equivalence.py``). The scalar loop is kept for
+    # provenance recording and tracing (which probe candidates one at a
+    # time and annotate each) and for the no-backfill ablation.
+    if options.backfill and provenance is None and not tracer.enabled:
+        best = _scan_batch(
+            candidates, np_t, et, parent_info, locality, model, timeline,
+            cluster.overlap,
+        )
+        if best is None:
+            raise ScheduleError(f"no feasible slot found for task {tp!r}")
+        finish, start, exec_start, chosen = best
+        placement = PlacedTask(
+            name=tp, start=start, exec_start=exec_start, finish=finish,
+            processors=chosen,
+        )
+        comm_times = {
+            (u, tp): model.transfer_time(procs, chosen, volume)
+            for u, procs, _, volume in parent_info
+        }
+        est_tp = max(
+            (ft + comm_times[(u, tp)] for u, _, ft, _ in parent_info),
+            default=0.0,
+        )
+        return placement, comm_times, est_tp
     # Provenance bookkeeping, None-guarded so the default scan stays free
     # of it: raw (tau, procs, start, exec_start, finish, tag) tuples are
     # collected during the scan and frozen into CandidateProbes at the end,
@@ -546,6 +579,217 @@ def _place_task(
         for (u, _), ct in comm_times.items():
             tracer.event("redistribution_costed", src=u, dst=tp, time=ct)
     return placement, comm_times, est_tp
+
+
+def _scan_batch(
+    candidates: Sequence[float],
+    np_t: int,
+    et: float,
+    parent_info: Sequence[Tuple[str, Tuple[int, ...], float, float]],
+    locality: Mapping[int, float],
+    model: "TransferTimer",
+    timeline: ProcessorTimeline,
+    overlap: bool,
+) -> Optional[Tuple[float, float, float, Tuple[int, ...]]]:
+    """The hole scan of Algorithm 2, restructured around the array chart.
+
+    The scalar loop classifies the whole machine at every candidate start
+    time and ranks all idle processors. This version splits that work by
+    how often each part actually decides anything:
+
+    * **Subset selection** — the scalar key ``(-locality, -horizon, proc)``
+      ranks whole *locality groups* before individual horizons ever matter.
+      Walking the (few, small) groups in descending share order and probing
+      only their members — one ``bisect`` per member — reproduces the full
+      ranking whenever the groups alone cover the allocation; horizons
+      break ties inside the one group that straddles the cut. Only when
+      zero-locality processors are needed does the scan fall back to the
+      full classification plus :func:`_pick_by_locality` (identical keys).
+    * **Timing** — trial timings depend on the chosen subset, not the
+      probe time, so they are memoized per subset; the arithmetic is the
+      same scalar float operations as :func:`_time_placement` (transfer
+      sums in parent order, comparison-based maxima), keeping the two
+      paths bit-identical (differentially tested in
+      ``tests/test_array_equivalence.py``).
+    * **Classification** — when a full idle classification is unavoidable,
+      the first one is a plain :meth:`ProcessorTimeline.idle_with_horizon`
+      query and every later one comes from an :class:`IdleSweep` advanced
+      to the probe time, so repeated classifications cost only the state
+      flips between consecutive probes.
+
+    The sequential semantics are preserved exactly: candidates are
+    consumed in ascending order, the ``tau + et >= best_finish - EPS``
+    bound stops the scan at the same probe, and infeasible locality picks
+    run the scalar roomy retry verbatim.
+    """
+    P = len(timeline.processors)
+    row_of = timeline._row
+    counts = timeline._counts
+    starts_l = timeline._starts_l
+    ends_l = timeline._ends_l
+    all_starts = timeline._all_starts
+    all_ends = timeline._all_ends
+    counts_ok = timeline.counts_exact
+
+    # Locality groups: shares descending, members ascending. Equal-share
+    # processors are common (a one-parent task spreads volume/width evenly),
+    # so groups are few and the descending walk mirrors the sort key.
+    groups: List[List[int]] = []
+    if locality:
+        by_val: Dict[float, List[int]] = {}
+        for p, v in locality.items():
+            by_val.setdefault(v, []).append(p)
+        groups = [sorted(by_val[v]) for v in sorted(by_val, reverse=True)]
+
+    best: Optional[Tuple[float, float, float, Tuple[int, ...]]] = None
+    #: chosen subset -> data-ready max (overlap) / comm sum (non-overlap)
+    timing_memo: Dict[Tuple[int, ...], float] = {}
+    #: lazy classification ladder: the first unavoidable classification is
+    #: a plain query, the second builds the incremental sweep, later ones
+    #: just advance it (probe times ascend; chart frozen during the scan)
+    sweep: Optional[IdleSweep] = None
+    classified = False
+    #: keep walking the locality groups only while the walk keeps covering
+    #: the allocation — it succeeds at uncontended probes (parents just
+    #: released their processors) and reliably fails at contended ones,
+    #: where its member probes would just duplicate the classification
+    try_groups = bool(groups)
+    for tau in candidates:
+        if best is not None and tau + et >= best[0] - EPS:
+            break  # no later start can beat the current finish
+        tol = tau + EPS
+        if counts_ok and not try_groups:
+            # Global busy-count identity: two binary searches skip start
+            # times with too few idle processors before the sweep is even
+            # advanced (the deferred events are processed — amortized — at
+            # the next surviving probe).
+            busy = bisect_right(all_starts, tol) - bisect_right(all_ends, tol)
+            if P - busy < np_t:
+                continue  # == the scalar len(free) < np_t skip
+        free: Optional[List[Tuple[int, float]]] = None
+        # -- subset selection -------------------------------------------------
+        need = np_t
+        chosen_ph: List[Tuple[int, float]] = []
+        if try_groups:
+            for group in groups:
+                gf: List[Tuple[int, float]] = []
+                for p in group:
+                    r = row_of[p]
+                    el = ends_l[r]
+                    idx = bisect_right(el, tol)
+                    if idx == counts[r]:
+                        gf.append((p, math.inf))
+                    else:
+                        nxt = starts_l[r][idx]
+                        if nxt > tol:
+                            gf.append((p, nxt))
+                if len(gf) <= need:
+                    # the whole group ranks ahead of everything below it
+                    chosen_ph.extend(gf)
+                    need -= len(gf)
+                    if need == 0:
+                        break
+                else:
+                    # the cut falls inside this group: ties break on
+                    # (-horizon, proc), exactly the scalar key's tail
+                    gf.sort(key=_HP_KEY)
+                    chosen_ph.extend(gf[:need])
+                    need = 0
+                    break
+            if need:
+                try_groups = False
+        fast = need == 0
+        if fast:
+            chosen = tuple(sorted(p for p, _ in chosen_ph))
+        else:
+            # zero-locality processors are needed: full classification and
+            # the scalar ranking (identical keys, so identical choice)
+            if sweep is not None:
+                sweep.advance(tau)
+                if len(sweep) < np_t:
+                    continue  # == the scalar len(free) < np_t skip
+                free = sweep.free_pairs()
+            elif classified:
+                sweep = timeline.idle_sweep(tau)
+                if len(sweep) < np_t:
+                    continue
+                free = sweep.free_pairs()
+            else:
+                classified = True
+                free = timeline.idle_with_horizon(tau)
+                if len(free) < np_t:
+                    continue
+            chosen = _pick_by_locality(free, np_t, locality)
+        # -- trial timing (memoized per subset; scalar float ops) -------------
+        known = timing_memo.get(chosen)
+        if overlap:
+            if known is None:
+                known = -math.inf
+                for _, pprocs, ft, volume in parent_info:
+                    arrival = ft + model.transfer_time(pprocs, chosen, volume)
+                    if arrival > known:
+                        known = arrival
+                timing_memo[chosen] = known
+            # max(tau, data_ready) via the same comparison as the scalar
+            # loop (data_ready starts at tau there)
+            start = known if known > tau else tau
+            exec_start = start
+            finish = exec_start + et
+        else:
+            if known is None:
+                known = 0.0
+                for _, pprocs, _, volume in parent_info:
+                    known += model.transfer_time(pprocs, chosen, volume)
+                timing_memo[chosen] = known
+            # every candidate is >= ready_base = max parent finish, so the
+            # scalar ready-maximum always resolves to tau itself
+            start = tau
+            exec_start = start + known
+            finish = exec_start + et
+        # -- feasibility -------------------------------------------------------
+        if fast and start == tau:
+            # starting inside the probed hole: feasibility is exactly
+            # "every chosen horizon covers the window"
+            fits = True
+            lim = finish - EPS
+            for _, h in chosen_ph:
+                if h < lim:
+                    fits = False
+                    break
+        else:
+            fits = timeline.is_free(chosen, start, finish)
+        if not fits:
+            # scalar roomy retry, verbatim on this probe's idle pairs
+            if free is None:
+                if sweep is not None:
+                    sweep.advance(tau)
+                    free = sweep.free_pairs()
+                elif classified:
+                    sweep = timeline.idle_sweep(tau)
+                    free = sweep.free_pairs()
+                else:
+                    classified = True
+                    free = timeline.idle_with_horizon(tau)
+            roomy = [ph for ph in free if ph[1] >= finish - EPS]
+            if len(roomy) < np_t:
+                continue
+            chosen = _pick_by_locality(roomy, np_t, locality)
+            start, exec_start, finish = _time_placement(
+                chosen, tau, et, parent_info, model, overlap
+            )
+            if not timeline.is_free(chosen, start, finish):
+                continue
+        if best is None or finish < best[0] - EPS:
+            best = (finish, start, exec_start, chosen)
+    return best
+
+
+def _hp_key(ph: Tuple[int, float]) -> Tuple[float, int]:
+    """``(-horizon, proc)`` — the within-group tie-break of the scalar key."""
+    return (-ph[1], ph[0])
+
+
+_HP_KEY = _hp_key
 
 
 def _pick_by_locality(
