@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Schedule serving through the content-addressed cache.
+
+Stands up a :class:`repro.cache.CachedScheduleService` over a two-tier
+:class:`repro.cache.ScheduleCache` and serves three requests:
+
+1. a **cold** run — LoC-MPS schedules the graph and the result is stored
+   under its content fingerprint;
+2. the *same* application resubmitted (rebuilt in a different vertex
+   order, under a different name) — a cache **hit**, served without
+   touching the scheduler;
+3. a near-neighbor graph (two tasks re-profiled 10% slower) — a
+   graph-delta **warm start**: LoC-MPS is seeded with the cached
+   neighbor's allocation vector and only keeps it if strictly
+   profitable.
+
+Run:  python examples/cached_service.py
+"""
+
+import tempfile
+
+from repro import Cluster, ScheduleCache, synthetic_dag
+from repro.cache import CachedScheduleService
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+
+
+def reversed_copy(graph, name):
+    """Same content, different insertion order and cosmetic name."""
+    doc = graph_to_dict(graph)
+    doc["name"] = name
+    doc["tasks"] = list(reversed(doc["tasks"]))
+    doc["edges"] = list(reversed(doc["edges"]))
+    return graph_from_dict(doc)
+
+
+def perturbed_copy(graph, name, count=2, factor=1.1):
+    """A near neighbor: the first *count* tasks re-profiled by *factor*."""
+    doc = graph_to_dict(graph)
+    doc["name"] = name
+    chosen = set(sorted(t["name"] for t in doc["tasks"])[:count])
+    for tdoc in doc["tasks"]:
+        if tdoc["name"] in chosen:
+            tdoc["sequential_time"] *= factor
+    return graph_from_dict(doc)
+
+
+def main() -> None:
+    graph = synthetic_dag(20, ccr=0.3, amax=32, sigma=1.0, seed=11)
+    cluster = Cluster(num_processors=16)
+
+    with tempfile.TemporaryDirectory(prefix="schedule-cache-") as cache_dir:
+        cache = ScheduleCache(capacity=64, cache_dir=cache_dir)
+        service = CachedScheduleService(cache, scheme="locmps")
+
+        requests = [
+            ("original submission", graph),
+            ("identical resubmission", reversed_copy(graph, "resubmitted")),
+            ("re-profiled neighbor", perturbed_copy(graph, "re-profiled")),
+        ]
+        for label, g in requests:
+            res = service.schedule(g, cluster)
+            line = (
+                f"{label:<24} -> {res.outcome:<5} "
+                f"makespan={res.schedule.makespan:8.2f} "
+                f"latency={res.latency_s * 1e3:8.3f} ms"
+            )
+            if res.outcome == "warm":
+                line += f"  (neighbor delta={res.delta})"
+            print(line)
+
+        snap = service.snapshot()
+        print(
+            f"\nservice: {snap['requests']} requests — {snap['hits']} hit, "
+            f"{snap['warm']} warm, {snap['cold']} cold"
+        )
+        print(
+            f"cache:   {snap['cache']['size']} in memory, "
+            f"{snap['cache']['disk_size']} on disk at {cache_dir}"
+        )
+
+
+if __name__ == "__main__":
+    main()

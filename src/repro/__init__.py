@@ -80,6 +80,7 @@ from repro.schedulers import (
     get_scheduler,
     locbs_schedule,
 )
+from repro.cache import CachedScheduleService, ScheduleCache
 from repro.obs import NULL_TRACER, NullTracer, Tracer
 from repro.speedup import (
     AmdahlSpeedup,
@@ -157,6 +158,9 @@ __all__ = [
     "DataParallelScheduler",
     "SCHEDULERS",
     "get_scheduler",
+    # schedule cache
+    "ScheduleCache",
+    "CachedScheduleService",
     # observability
     "Tracer",
     "NullTracer",

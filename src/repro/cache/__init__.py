@@ -1,0 +1,38 @@
+"""Content-addressed schedule cache with graph-delta warm starts.
+
+See :mod:`repro.cache.fingerprint` for the canonical request identity,
+:mod:`repro.cache.store` for the two-tier (memory LRU + disk) cache, and
+:mod:`repro.cache.service` for the hit → warm → cold serving front end.
+``python -m repro.cache`` exposes the lookup/schedule/stats CLI.
+"""
+
+from repro.cache.fingerprint import (
+    FINGERPRINT_SCHEMA,
+    RequestKey,
+    canonical_json,
+    cluster_fingerprint,
+    config_fingerprint,
+    graph_fingerprint,
+    graph_signature,
+    request_fingerprint,
+    signature_delta,
+)
+from repro.cache.service import CachedScheduleService, ServeResult, scheme_config
+from repro.cache.store import ENTRY_SCHEMA, ScheduleCache
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "ENTRY_SCHEMA",
+    "RequestKey",
+    "canonical_json",
+    "graph_fingerprint",
+    "cluster_fingerprint",
+    "config_fingerprint",
+    "request_fingerprint",
+    "graph_signature",
+    "signature_delta",
+    "ScheduleCache",
+    "CachedScheduleService",
+    "ServeResult",
+    "scheme_config",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.cache`` entry point."""
+
+import sys
+
+from repro.cache.cli import main
+
+sys.exit(main())

@@ -1,0 +1,188 @@
+"""CLI front end of the schedule cache.
+
+``python -m repro.cache lookup --dir DIR --graph G.json --procs P``
+    Fingerprint the request and probe the cache without scheduling.
+    Prints the fingerprint and ``hit``/``miss``; exits 0 on a hit,
+    3 on a miss (so shell pipelines can branch on it).
+
+``python -m repro.cache schedule --dir DIR --graph G.json --procs P``
+    Serve the request through :class:`~repro.cache.CachedScheduleService`
+    (hit → warm start → cold run), optionally writing the schedule JSON.
+
+``python -m repro.cache stats --dir DIR``
+    Summarize the disk tier: entry count, modes, bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import MYRINET_2GBPS, Cluster
+from repro.graph.serialization import load_graph
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cache",
+        description="Content-addressed schedule cache: probe, serve, inspect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_request_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dir", type=Path, required=True, help="cache directory"
+        )
+        p.add_argument(
+            "--graph",
+            type=Path,
+            required=True,
+            help="task graph JSON (repro.graph.serialization format)",
+        )
+        p.add_argument(
+            "--procs", type=int, required=True, help="cluster size P"
+        )
+        p.add_argument(
+            "--bandwidth",
+            type=float,
+            default=MYRINET_2GBPS,
+            help="link bandwidth in bytes/s (default: 2 Gb/s Myrinet)",
+        )
+        p.add_argument(
+            "--no-overlap",
+            action="store_true",
+            help="model non-overlapping communication",
+        )
+        p.add_argument(
+            "--scheme",
+            default="locmps",
+            help="registry scheduler name (default: locmps)",
+        )
+
+    look = sub.add_parser("lookup", help="probe the cache, never schedule")
+    add_request_args(look)
+
+    sched = sub.add_parser("schedule", help="serve: hit, warm start, or cold")
+    add_request_args(sched)
+    sched.add_argument(
+        "--out", type=Path, default=None, help="write the schedule JSON here"
+    )
+    sched.add_argument(
+        "--max-delta",
+        type=int,
+        default=None,
+        help="max vertex delta for warm-start neighbors (default: unlimited)",
+    )
+
+    stats = sub.add_parser("stats", help="summarize the disk tier")
+    stats.add_argument(
+        "--dir", type=Path, required=True, help="cache directory"
+    )
+    return parser
+
+
+def _request(args: argparse.Namespace):
+    graph = load_graph(args.graph)
+    cluster = Cluster(
+        num_processors=args.procs,
+        bandwidth=args.bandwidth,
+        overlap=not args.no_overlap,
+    )
+    return graph, cluster
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    from repro.cache.service import CachedScheduleService
+    from repro.cache.store import ScheduleCache
+
+    graph, cluster = _request(args)
+    cache = ScheduleCache(cache_dir=args.dir)
+    service = CachedScheduleService(cache, scheme=args.scheme)
+    key = service.request_key(graph, cluster)
+    schedule = cache.lookup(key, graph=graph)
+    print(f"fingerprint: {key.fingerprint}")
+    if schedule is None:
+        print("miss")
+        return 3
+    print(f"hit: makespan={schedule.makespan!r} scheduler={schedule.scheduler}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.cache.service import CachedScheduleService
+    from repro.cache.store import ScheduleCache
+    from repro.schedule.export import save_schedule
+
+    graph, cluster = _request(args)
+    cache = ScheduleCache(cache_dir=args.dir)
+    service = CachedScheduleService(
+        cache, scheme=args.scheme, max_delta=args.max_delta
+    )
+    result = service.schedule(graph, cluster)
+    print(f"fingerprint: {result.fingerprint}")
+    line = (
+        f"{result.outcome}: makespan={result.schedule.makespan!r} "
+        f"latency={result.latency_s:.6f}s"
+    )
+    if result.outcome == "warm":
+        line += f" delta={result.delta}"
+    print(line)
+    if args.out is not None:
+        save_schedule(result.schedule, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.cache.store import ENTRY_SCHEMA
+
+    cache_dir: Path = args.dir
+    entries: List[Dict[str, Any]] = []
+    total_bytes = 0
+    invalid = 0
+    if cache_dir.is_dir():
+        for path in sorted(cache_dir.glob("*.json")):
+            if path.name.startswith(".tmp-"):
+                continue
+            total_bytes += path.stat().st_size
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                invalid += 1
+                continue
+            if (
+                not isinstance(entry, dict)
+                or entry.get("schema") != ENTRY_SCHEMA
+            ):
+                invalid += 1
+                continue
+            entries.append(entry)
+    modes: Dict[str, int] = {}
+    for entry in entries:
+        mode = entry.get("mode", "?")
+        modes[mode] = modes.get(mode, 0) + 1
+    doc = {
+        "cache_dir": str(cache_dir),
+        "entries": len(entries),
+        "invalid": invalid,
+        "bytes": total_bytes,
+        "modes": modes,
+    }
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "lookup":
+        return _cmd_lookup(args)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    return _cmd_stats(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

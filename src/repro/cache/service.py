@@ -1,0 +1,220 @@
+"""Cached scheduling service: hit → warm start → cold run, in that order.
+
+:class:`CachedScheduleService` is the serving front end the ROADMAP's
+schedule-as-a-service story calls for. Each request — a (TaskGraph,
+Cluster) pair under the service's fixed scheme/config — resolves in one
+of three ways, cheapest first:
+
+``hit``
+    The request fingerprint is already cached: the stored placement doc
+    is deserialized into a fresh, re-validated
+    :class:`~repro.schedule.types.Schedule` without touching the
+    scheduler at all. Cold LoC-MPS runs take seconds at P=64; a hit
+    takes microseconds-to-milliseconds depending on graph size.
+``warm``
+    A cached *neighbor* exists — same cluster and config fingerprints,
+    small vertex delta — and seeding LoC-MPS with its allocation vector
+    strictly beat the all-ones seed, skipping most of the allocation
+    walk. The result is stored under the new fingerprint with
+    ``mode="warm"``.
+``cold``
+    No usable cache state (or the warm seed was not bit-profitable and
+    the scheduler fell back — by construction that run is bit-identical
+    to a never-warmed one, so it is stored as ``mode="cold"``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.cache.fingerprint import (
+    RequestKey,
+    graph_signature,
+    request_fingerprint,
+)
+from repro.cache.store import ScheduleCache
+from repro.cluster import Cluster
+from repro.exceptions import CacheError
+from repro.graph import TaskGraph
+from repro.obs.tracer import NULL_TRACER
+from repro.schedule.types import Schedule
+from repro.schedulers.base import Scheduler
+from repro.schedulers.locmps import LocMpsScheduler
+from repro.schedulers.registry import SCHEDULERS, get_scheduler
+
+__all__ = ["ServeResult", "CachedScheduleService", "scheme_config"]
+
+
+def scheme_config(
+    scheme: str, options: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """The canonical config doc fingerprinted for a registry scheme.
+
+    Every cache client (this service, ``run_comparison``, the CLI) must
+    key entries through this one shape, or identical requests stop
+    finding each other's results.
+    """
+    return {"scheme": scheme, "options": dict(options or {})}
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served scheduling request and how it was resolved."""
+
+    schedule: Schedule
+    outcome: str  #: ``"hit"`` | ``"warm"`` | ``"cold"``
+    fingerprint: str  #: combined request fingerprint (the cache address)
+    latency_s: float  #: wall-clock seconds spent serving this request
+    delta: Optional[int] = None  #: vertex delta to the warm neighbor, if any
+    neighbor_fp: Optional[str] = None  #: the warm neighbor's graph fingerprint
+
+
+class CachedScheduleService:
+    """Serve scheduling requests through a :class:`ScheduleCache`.
+
+    Parameters
+    ----------
+    cache:
+        The two-tier cache shared by all requests (and, through its disk
+        dir, by other processes).
+    scheme:
+        Registry name of the scheduling algorithm
+        (:data:`repro.schedulers.registry.SCHEDULERS`).
+    scheduler_options:
+        Extra :class:`LocMpsScheduler` constructor kwargs — accepted only
+        for the ``locmps`` family, where they change the produced
+        schedule and therefore join the config fingerprint. They must be
+        JSON-serializable.
+    max_delta:
+        Warm starts are attempted only when the nearest neighbor differs
+        by at most this many vertices (``None`` = any neighbor). Large
+        deltas rarely carry over a useful allocation; the scheduler's
+        profitability gate catches those, but skipping them saves the
+        trial LoCBS pass.
+    tracer:
+        Optional tracer, threaded into the cache and the scheduler.
+    """
+
+    def __init__(
+        self,
+        cache: ScheduleCache,
+        *,
+        scheme: str = "locmps",
+        scheduler_options: Optional[Mapping[str, Any]] = None,
+        max_delta: Optional[int] = None,
+        tracer: Any = NULL_TRACER,
+    ) -> None:
+        if scheme not in SCHEDULERS:
+            known = ", ".join(sorted(SCHEDULERS))
+            raise CacheError(f"unknown scheme {scheme!r}; known: {known}")
+        options = dict(scheduler_options or {})
+        if options and scheme not in ("locmps", "locmps-nobackfill"):
+            raise CacheError(
+                f"scheduler_options are only supported for the locmps "
+                f"family, not {scheme!r}"
+            )
+        if "initial_allocation" in options or "tracer" in options:
+            raise CacheError(
+                "initial_allocation and tracer are managed by the service "
+                "and cannot be passed as scheduler_options"
+            )
+        self.cache = cache
+        self.scheme = scheme
+        self.scheduler_options = options
+        self.max_delta = max_delta
+        self.tracer = tracer
+        #: request-outcome telemetry (same flat-dict idiom as the cache)
+        self.stats: Dict[str, int] = {
+            "requests": 0, "hits": 0, "warm": 0, "cold": 0,
+        }
+
+    # -- request identity ----------------------------------------------------------
+
+    def config(self) -> Dict[str, Any]:
+        """The fingerprintable scheduler configuration of this service."""
+        return scheme_config(self.scheme, self.scheduler_options)
+
+    def request_key(self, graph: TaskGraph, cluster: Cluster) -> RequestKey:
+        """The cache key of scheduling *graph* on *cluster* here."""
+        return request_fingerprint(graph, cluster, self.config())
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def _build_scheduler(
+        self, initial_allocation: Optional[Mapping[str, int]]
+    ) -> Scheduler:
+        if self.scheme in ("locmps", "locmps-nobackfill"):
+            kwargs = dict(self.scheduler_options)
+            if self.scheme == "locmps-nobackfill":
+                kwargs.setdefault("backfill", False)
+            scheduler: Scheduler = LocMpsScheduler(
+                initial_allocation=initial_allocation,
+                tracer=self.tracer,
+                **kwargs,
+            )
+        else:
+            scheduler = get_scheduler(self.scheme)
+        return scheduler
+
+    def schedule(self, graph: TaskGraph, cluster: Cluster) -> ServeResult:
+        """Serve one request: cache hit, warm start, or cold run."""
+        t0 = time.perf_counter()
+        self.stats["requests"] += 1
+        key = self.request_key(graph, cluster)
+        fp = key.fingerprint
+
+        cached = self.cache.lookup(key, graph=graph)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return ServeResult(
+                schedule=cached,
+                outcome="hit",
+                fingerprint=fp,
+                latency_s=time.perf_counter() - t0,
+            )
+
+        signature = graph_signature(graph)
+        neighbor = None
+        if self.scheme in ("locmps", "locmps-nobackfill"):
+            # only the locmps family understands a warm seed; other
+            # schemes would pay the neighbor scan for nothing
+            neighbor = self.cache.nearest(
+                key, signature, max_delta=self.max_delta
+            )
+        warm_alloc: Optional[Dict[str, int]] = None
+        neighbor_fp: Optional[str] = None
+        delta: Optional[int] = None
+        if neighbor is not None:
+            entry, delta = neighbor
+            warm_alloc = {
+                name: int(width)
+                for name, width in entry.get("allocation", {}).items()
+            }
+            neighbor_fp = entry["key"]["graph_fp"]
+
+        scheduler = self._build_scheduler(warm_alloc)
+        schedule = scheduler.schedule(graph, cluster)
+        # a warm seed that did not beat the all-ones schedule fell back to
+        # a run bit-identical to cold — classify and store it as such
+        adopted = (
+            getattr(scheduler, "warm_start_stats", {}).get("adopted", 0) > 0
+        )
+        outcome = "warm" if adopted else "cold"
+        self.stats[outcome] += 1
+        self.cache.store(key, schedule, graph, mode=outcome)
+        return ServeResult(
+            schedule=schedule,
+            outcome=outcome,
+            fingerprint=fp,
+            latency_s=time.perf_counter() - t0,
+            delta=delta if adopted else None,
+            neighbor_fp=neighbor_fp if adopted else None,
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Service + cache telemetry in one dict."""
+        out: Dict[str, Any] = dict(self.stats)
+        out["cache"] = self.cache.snapshot()
+        return out

@@ -1,0 +1,378 @@
+"""Two-tier content-addressed schedule cache (in-memory LRU + disk).
+
+Entries are keyed by the :class:`~repro.cache.fingerprint.RequestKey`
+combined fingerprint. The memory tier is an ``OrderedDict`` LRU with the
+same eviction-telemetry idiom as ``LocMpsScheduler.memo_stats`` (a flat
+stats dict the caller can read at any time); the disk tier is one JSON
+file per entry under ``cache_dir``, written atomically (tmp +
+``os.replace``) so concurrent pool workers sharing the directory never
+observe a torn entry. Disk entries survive process restarts and are
+promoted back into memory on first hit.
+
+A hit never hands out a shared mutable object: the stored placement doc
+is deserialized into a **fresh** :class:`~repro.schedule.types.Schedule`
+per lookup and, when the caller supplies the graph, re-validated against
+it — a corrupt or stale entry is dropped (counted under ``invalid``) and
+reported as a miss rather than served.
+
+:meth:`ScheduleCache.nearest` supports graph-delta warm starts: among
+entries with the *same* cluster and config fingerprints, it returns the
+one whose per-task :func:`~repro.cache.fingerprint.graph_signature` is
+closest to the submitted graph's, together with the vertex delta.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.cache.fingerprint import (
+    FINGERPRINT_SCHEMA,
+    RequestKey,
+    canonical_json,
+    graph_signature,
+    signature_delta,
+)
+from repro.exceptions import CacheError
+from repro.graph import TaskGraph
+from repro.obs.events import (
+    CACHE_EVICTED,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_STORE,
+)
+from repro.obs.tracer import NULL_TRACER
+from repro.schedule.export import schedule_from_dict, schedule_to_dict
+from repro.schedule.types import Schedule
+from repro.schedule.validation import validate_schedule
+
+__all__ = ["ENTRY_SCHEMA", "ScheduleCache"]
+
+#: on-disk entry format version; bumping it orphans (ignores) old files
+ENTRY_SCHEMA = "repro.cache.entry/v1"
+
+
+class ScheduleCache:
+    """In-memory LRU over a shared disk tier of schedule cache entries.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries held in memory; the least recently
+        used entry is evicted (it remains on disk if a ``cache_dir`` is
+        configured). Must be >= 1.
+    cache_dir:
+        Directory of the persistent tier (created on demand). ``None``
+        keeps the cache memory-only — fine in-process, but such a cache
+        cannot be shared with pool workers.
+    validate:
+        Re-validate deserialized schedules against the submitted graph
+        on every hit (requires the caller to pass ``graph=`` to
+        :meth:`lookup`). Entries that fail validation are dropped.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; hits/misses/stores/evictions
+        are emitted as ``cache_*`` events.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; the same operations
+        are counted under ``cache_ops{op=...}``.
+    neighbor_scan_limit:
+        Maximum number of disk entries examined per :meth:`nearest`
+        call (most recently written first), bounding warm-start lookup
+        cost on large cache directories.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        cache_dir: Union[str, Path, None] = None,
+        *,
+        validate: bool = True,
+        tracer: Any = NULL_TRACER,
+        metrics: Any = None,
+        neighbor_scan_limit: int = 64,
+    ) -> None:
+        if capacity < 1:
+            raise CacheError(f"cache capacity must be >= 1, got {capacity}")
+        if neighbor_scan_limit < 0:
+            raise CacheError(
+                f"neighbor_scan_limit must be >= 0, got {neighbor_scan_limit}"
+            )
+        self.capacity = int(capacity)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.validate = bool(validate)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.neighbor_scan_limit = int(neighbor_scan_limit)
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: flat telemetry dict, same idiom as ``LocMpsScheduler.memo_stats``
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "invalid": 0,
+            "peak_size": 0,
+        }
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _count(self, op: str, **labels: Any) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(
+                "cache_ops", op=op, help="schedule cache operations", **labels
+            )
+
+    def _entry_path(self, fingerprint: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def _remember(self, fingerprint: str, entry: Dict[str, Any]) -> None:
+        """Insert *entry* into the memory LRU, evicting as needed."""
+        self._memory[fingerprint] = entry
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            evicted_fp, _ = self._memory.popitem(last=False)
+            self.stats["evictions"] += 1
+            self.tracer.event(CACHE_EVICTED, fingerprint=evicted_fp)
+            self._count("eviction")
+        self.stats["peak_size"] = max(self.stats["peak_size"], len(self._memory))
+
+    def _load_disk(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Read one disk entry; corrupt or mismatched files are dropped."""
+        path = self._entry_path(fingerprint)
+        if path is None or not path.is_file():
+            return None
+        entry = self._parse_entry(path)
+        if entry is None:
+            return None
+        if entry["fingerprint"] != fingerprint:
+            # content address must match the file name it was stored under
+            self._drop_invalid(path)
+            return None
+        return entry
+
+    def _parse_entry(self, path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self._drop_invalid(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != ENTRY_SCHEMA
+            or entry.get("fingerprint_schema") != FINGERPRINT_SCHEMA
+            or "schedule" not in entry
+            or "key" not in entry
+        ):
+            self._drop_invalid(path)
+            return None
+        return entry
+
+    def _drop_invalid(self, path: Path) -> None:
+        self.stats["invalid"] += 1
+        self._count("invalid")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _materialize(
+        self, entry: Dict[str, Any], graph: Optional[TaskGraph]
+    ) -> Optional[Schedule]:
+        """Fresh, optionally re-validated Schedule from a cache entry."""
+        try:
+            schedule = schedule_from_dict(entry["schedule"])
+        except Exception:
+            return None
+        if self.validate and graph is not None:
+            try:
+                validate_schedule(schedule, graph)
+            except Exception:
+                return None
+        return schedule
+
+    # -- public API ----------------------------------------------------------------
+
+    def lookup(
+        self, key: RequestKey, *, graph: Optional[TaskGraph] = None
+    ) -> Optional[Schedule]:
+        """The cached :class:`Schedule` for *key*, or ``None`` on a miss.
+
+        Memory tier first, then disk (promoting the entry into memory).
+        When ``validate`` is on and *graph* is given, the deserialized
+        schedule is checked against the graph before being returned;
+        entries failing deserialization or validation are discarded.
+        """
+        fp = key.fingerprint
+        entry = self._memory.get(fp)
+        tier = "memory"
+        if entry is None:
+            entry = self._load_disk(fp)
+            tier = "disk"
+        if entry is not None:
+            schedule = self._materialize(entry, graph)
+            if schedule is None:
+                self._memory.pop(fp, None)
+                path = self._entry_path(fp)
+                if path is not None and path.is_file():
+                    self._drop_invalid(path)
+                else:
+                    self.stats["invalid"] += 1
+                    self._count("invalid")
+            else:
+                self._remember(fp, entry)
+                self.stats["hits"] += 1
+                self.stats[f"{tier}_hits"] += 1
+                self.tracer.event(CACHE_HIT, fingerprint=fp, tier=tier)
+                self._count("hit", tier=tier)
+                return schedule
+        self.stats["misses"] += 1
+        self.tracer.event(CACHE_MISS, fingerprint=fp)
+        self._count("miss")
+        return None
+
+    def store(
+        self,
+        key: RequestKey,
+        schedule: Schedule,
+        graph: TaskGraph,
+        *,
+        mode: str = "cold",
+    ) -> Dict[str, Any]:
+        """Insert *schedule* for *key*; returns the stored entry dict.
+
+        ``mode`` records how the result was computed (``"cold"`` for a
+        from-scratch run, ``"warm"`` for a graph-delta warm start) so
+        bit-identity guarantees can be scoped to cold entries. The
+        entry also carries the graph's per-task signature, which is what
+        :meth:`nearest` matches against later submissions.
+        """
+        if mode not in ("cold", "warm"):
+            raise CacheError(f"unknown cache entry mode {mode!r}")
+        fp = key.fingerprint
+        entry: Dict[str, Any] = {
+            "schema": ENTRY_SCHEMA,
+            "fingerprint_schema": FINGERPRINT_SCHEMA,
+            "fingerprint": fp,
+            "key": {
+                "graph_fp": key.graph_fp,
+                "cluster_fp": key.cluster_fp,
+                "config_fp": key.config_fp,
+            },
+            "mode": mode,
+            "makespan": float(schedule.makespan),
+            "allocation": {
+                name: int(width)
+                for name, width in sorted(schedule.allocation().items())
+            },
+            "signature": graph_signature(graph),
+            "schedule": schedule_to_dict(schedule),
+        }
+        self._remember(fp, entry)
+        path = self._entry_path(fp)
+        if path is not None:
+            self._write_atomic(path, entry)
+        self.stats["stores"] += 1
+        self.tracer.event(CACHE_STORE, fingerprint=fp, mode=mode)
+        self._count("store", mode=mode)
+        return entry
+
+    def _write_atomic(self, path: Path, entry: Dict[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_json(entry))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def nearest(
+        self,
+        key: RequestKey,
+        signature: Dict[str, str],
+        *,
+        max_delta: Optional[int] = None,
+    ) -> Optional[Tuple[Dict[str, Any], int]]:
+        """The closest cached neighbor of *key*, as ``(entry, delta)``.
+
+        Only entries sharing the cluster *and* config fingerprints are
+        candidates (a warm start across different machines or scheduler
+        settings is meaningless). ``delta`` is the vertex delta between
+        *signature* and the candidate's stored graph signature; the
+        minimum wins, ties going to the more recently used entry. At
+        most ``neighbor_scan_limit`` disk entries (newest first) are
+        examined beyond what is already in memory. Returns ``None``
+        when no candidate exists or the best delta exceeds *max_delta*.
+        """
+        best: Optional[Tuple[Dict[str, Any], int]] = None
+
+        def consider(entry: Dict[str, Any]) -> None:
+            nonlocal best
+            ekey = entry["key"]
+            if (
+                ekey["cluster_fp"] != key.cluster_fp
+                or ekey["config_fp"] != key.config_fp
+                or ekey["graph_fp"] == key.graph_fp
+            ):
+                return
+            delta = signature_delta(signature, entry.get("signature", {}))
+            if best is None or delta < best[1]:
+                best = (entry, delta)
+
+        # memory tier: most recently used first
+        for entry in reversed(self._memory.values()):
+            consider(entry)
+        if self.cache_dir is not None and self.cache_dir.is_dir():
+            candidates = [
+                p
+                for p in self.cache_dir.glob("*.json")
+                if p.stem not in self._memory and not p.name.startswith(".tmp-")
+            ]
+            candidates.sort(key=lambda p: p.stat().st_mtime, reverse=True)
+            for path in candidates[: self.neighbor_scan_limit]:
+                entry = self._parse_entry(path)
+                if entry is not None:
+                    consider(entry)
+        if best is None:
+            return None
+        if max_delta is not None and best[1] > max_delta:
+            return None
+        return best
+
+    # -- introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def disk_size(self) -> int:
+        """Number of entries in the disk tier (0 when memory-only)."""
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return 0
+        return sum(
+            1
+            for p in self.cache_dir.glob("*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Telemetry snapshot: counters plus current tier sizes."""
+        out: Dict[str, Any] = dict(self.stats)
+        out["size"] = len(self._memory)
+        out["disk_size"] = self.disk_size()
+        out["capacity"] = self.capacity
+        out["cache_dir"] = str(self.cache_dir) if self.cache_dir else None
+        return out

@@ -20,6 +20,7 @@ __all__ = [
     "WorkloadError",
     "ExperimentError",
     "SimulationError",
+    "CacheError",
 ]
 
 
@@ -72,3 +73,7 @@ class ExperimentError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
+
+
+class CacheError(ReproError):
+    """The schedule cache hit a corrupt entry or invalid configuration."""

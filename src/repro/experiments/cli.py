@@ -84,6 +84,15 @@ def _parser() -> argparse.ArgumentParser:
         "chrome://tracing with 'python -m repro.obs chrome')",
     )
     parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed schedule cache directory: every (graph, P, "
+        "scheme) cell is looked up before scheduling and stored after; "
+        "re-running a figure against the same DIR turns all cells into "
+        "hits (not used by fig11)",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="record decision provenance: every committed placement emits "
@@ -124,6 +133,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             if name != "fig11":  # fig11 replays schedules; no cell fan-out
                 kwargs["workers"] = workers
                 kwargs["explain"] = args.explain
+                kwargs["cache"] = args.cache
             result = FIGURES[name](**kwargs)
             print(result.text())
             print()

@@ -16,7 +16,8 @@ import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster import Cluster
 from repro.exceptions import ExperimentError
@@ -128,6 +129,79 @@ class _SweepContext:
     factory: Optional[Callable[[str], object]] = field(default=None)
     #: enable decision provenance on schedulers that support it
     explain: bool = False
+    #: shared disk tier of the schedule cache (None = no caching); each
+    #: worker keeps its own in-memory LRU on top of this directory
+    cache_dir: Optional[str] = None
+
+
+def _schedule_cell(
+    graph: TaskGraph,
+    cluster: Cluster,
+    schemes: Sequence[str],
+    *,
+    validate: bool,
+    factory: Callable[[str], object],
+    tracer: Optional[Tracer] = None,
+    explain: bool = False,
+    cache=None,
+) -> List[Tuple[str, float, float]]:
+    """Schedule every scheme of one (graph, P) cell (instrumented path).
+
+    With a :class:`~repro.cache.ScheduleCache`, each scheme is looked up
+    first — a hit reports the *stored* scheduling time (the cold run's
+    wall-clock), so sweep tables are identical with the cache on or off —
+    and every miss is stored back, turning duplicate sweep cells and
+    repeated CLI runs into hits.
+    """
+    traced = tracer is not None and tracer.enabled
+    rows: List[Tuple[str, float, float]] = []
+    for scheme in schemes:
+        key = None
+        if cache is not None:
+            from repro.cache import request_fingerprint, scheme_config
+
+            key = request_fingerprint(graph, cluster, scheme_config(scheme))
+            hit = cache.lookup(key, graph=graph if validate else None)
+            if hit is not None:
+                if traced:
+                    tracer.event(
+                        "experiment_cell",
+                        graph=graph.name,
+                        P=cluster.num_processors,
+                        scheme=scheme,
+                        makespan=hit.makespan,
+                        elapsed_s=hit.scheduling_time,
+                        cached=True,
+                    )
+                rows.append((scheme, hit.makespan, hit.scheduling_time))
+                continue
+        sched = factory(scheme)
+        if traced:
+            sched.tracer = tracer
+        if explain and hasattr(sched, "explain"):
+            sched.explain = True
+        t0 = time.perf_counter()
+        schedule = sched.schedule(graph, cluster)
+        elapsed = time.perf_counter() - t0
+        if validate:
+            validate_schedule(schedule, graph)
+        if cache is not None:
+            cache.store(key, schedule, graph, mode="cold")
+            # report the number the cache stored (scheduling_time, timed
+            # inside Scheduler.schedule) so a later hit reproduces this
+            # row bit-for-bit
+            elapsed = schedule.scheduling_time
+        if traced:
+            tracer.event(
+                "experiment_cell",
+                graph=graph.name,
+                P=cluster.num_processors,
+                scheme=scheme,
+                makespan=schedule.makespan,
+                elapsed_s=elapsed,
+            )
+        rows.append((scheme, schedule.makespan, elapsed))
+    return rows
 
 
 def _run_cell_warm(env, gi: int, pi: int) -> List[Tuple[str, float, float]]:
@@ -138,37 +212,35 @@ def _run_cell_warm(env, gi: int, pi: int) -> List[Tuple[str, float, float]]:
     its tracer is the worker's private spool (or the no-op tracer).
     Schedulers get the spool attached, so their decision events and the
     per-cell ``experiment_cell`` summaries reach the caller's tracer when
-    the spools are merged after the sweep.
+    the spools are merged after the sweep. When the context carries a
+    ``cache_dir``, each worker lazily builds one
+    :class:`~repro.cache.ScheduleCache` in ``env.state`` — private memory
+    LRU, shared disk tier, so a cell one worker schedules becomes a disk
+    hit for every other worker.
     """
     ctx: _SweepContext = env.context
     graph = ctx.graphs[gi]
     P = ctx.proc_counts[pi]
     cluster = Cluster(num_processors=P, bandwidth=ctx.bandwidth, overlap=ctx.overlap)
-    factory = ctx.factory or get_scheduler
-    tracer = env.tracer
-    out: List[Tuple[str, float, float]] = []
-    for scheme in ctx.schemes:
-        sched = factory(scheme)
-        if tracer.enabled:
-            sched.tracer = tracer
-        if ctx.explain and hasattr(sched, "explain"):
-            sched.explain = True
-        t0 = time.perf_counter()
-        schedule = sched.schedule(graph, cluster)
-        elapsed = time.perf_counter() - t0
-        if ctx.validate:
-            validate_schedule(schedule, graph)
-        if tracer.enabled:
-            tracer.event(
-                "experiment_cell",
-                graph=graph.name,
-                P=P,
-                scheme=scheme,
-                makespan=schedule.makespan,
-                elapsed_s=elapsed,
+    cache = None
+    if ctx.cache_dir is not None:
+        cache = env.state.get("schedule_cache")
+        if cache is None:
+            from repro.cache import ScheduleCache
+
+            cache = env.state["schedule_cache"] = ScheduleCache(
+                cache_dir=ctx.cache_dir, tracer=env.tracer
             )
-        out.append((scheme, schedule.makespan, elapsed))
-    return out
+    return _schedule_cell(
+        graph,
+        cluster,
+        ctx.schemes,
+        validate=ctx.validate,
+        factory=ctx.factory or get_scheduler,
+        tracer=env.tracer,
+        explain=ctx.explain,
+        cache=cache,
+    )
 
 
 def run_comparison(
@@ -185,6 +257,7 @@ def run_comparison(
     chunksize: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     explain: bool = False,
+    cache: Union["object", str, Path, None] = None,
 ) -> ComparisonResult:
     """Sweep every scheme over every graph and processor count.
 
@@ -220,6 +293,18 @@ def run_comparison(
     trace event holding every candidate hole the LoCBS scan probed.
     Pair it with *tracer*, or the records die with the scheduler
     instances.
+
+    *cache* plugs a content-addressed schedule cache into the sweep: a
+    :class:`~repro.cache.ScheduleCache` instance or a cache directory
+    (``str``/``Path``). Every (graph, P, scheme) cell is fingerprinted
+    and looked up before scheduling; hits report the stored makespan and
+    scheduling time (bit-identical tables, duplicate cells and repeated
+    runs become free), misses are stored back. Only the default registry
+    schedulers can be cached — a custom ``scheduler_factory`` changes
+    results invisibly to the fingerprint and is rejected. With
+    ``workers > 1`` the cache must have a disk tier (pass a directory or
+    a ``ScheduleCache`` with ``cache_dir``): workers share entries
+    through the directory, each with a private in-memory LRU.
     """
     if not graphs:
         raise ExperimentError("run_comparison needs at least one graph")
@@ -236,6 +321,37 @@ def run_comparison(
                 f"processes ({exc}); use a module-level callable or workers=1"
             ) from exc
     factory = scheduler_factory or get_scheduler
+
+    cache_obj = None
+    cache_dir: Optional[str] = None
+    if cache is not None:
+        if scheduler_factory is not None:
+            raise ExperimentError(
+                "cache= requires the default registry schedulers; results "
+                "from a custom scheduler_factory cannot be fingerprinted"
+            )
+        from repro.cache import ScheduleCache
+
+        if isinstance(cache, (str, Path)):
+            cache_dir = str(cache)
+            cache_obj = (
+                ScheduleCache(cache_dir=cache_dir, tracer=tracer)
+                if tracer is not None
+                else ScheduleCache(cache_dir=cache_dir)
+            )
+        elif isinstance(cache, ScheduleCache):
+            cache_obj = cache
+            cache_dir = str(cache.cache_dir) if cache.cache_dir else None
+        else:
+            raise ExperimentError(
+                f"cache= must be a ScheduleCache or a directory path, "
+                f"got {type(cache).__name__}"
+            )
+        if workers > 1 and cache_dir is None:
+            raise ExperimentError(
+                "workers > 1 share the cache through its disk tier; pass a "
+                "cache directory or a ScheduleCache with cache_dir set"
+            )
 
     makespans: Dict[str, List[List[float]]] = {
         s: [[math.nan] * len(proc_counts) for _ in graphs] for s in schemes
@@ -273,6 +389,7 @@ def run_comparison(
             validate=validate,
             factory=scheduler_factory,
             explain=explain,
+            cache_dir=cache_dir,
         )
         spool_dir = tempfile.mkdtemp(prefix="repro-spool-") if tracer else None
         pool = None
@@ -298,33 +415,26 @@ def run_comparison(
                     shutil.rmtree(spool_dir, ignore_errors=True)
     else:
         for gi, pi, args in cells:
-            if scheduler_factory is None and tracer is None and not explain:
+            if (
+                scheduler_factory is None
+                and tracer is None
+                and not explain
+                and cache_obj is None
+            ):
                 record(gi, pi, _run_cell(args))
             else:
                 graph, P, bw, ov, scheme_t, val = args
                 cluster = Cluster(num_processors=P, bandwidth=bw, overlap=ov)
-                rows = []
-                for scheme in scheme_t:
-                    sched = factory(scheme)
-                    if tracer is not None:
-                        sched.tracer = tracer
-                    if explain and hasattr(sched, "explain"):
-                        sched.explain = True
-                    t0 = time.perf_counter()
-                    schedule = sched.schedule(graph, cluster)
-                    elapsed = time.perf_counter() - t0
-                    if val:
-                        validate_schedule(schedule, graph)
-                    if tracer is not None:
-                        tracer.event(
-                            "experiment_cell",
-                            graph=graph.name,
-                            P=P,
-                            scheme=scheme,
-                            makespan=schedule.makespan,
-                            elapsed_s=elapsed,
-                        )
-                    rows.append((scheme, schedule.makespan, elapsed))
+                rows = _schedule_cell(
+                    graph,
+                    cluster,
+                    scheme_t,
+                    validate=val,
+                    factory=factory,
+                    tracer=tracer,
+                    explain=explain,
+                    cache=cache_obj,
+                )
                 record(gi, pi, rows)
 
     return ComparisonResult(

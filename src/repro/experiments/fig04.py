@@ -42,6 +42,7 @@ def run(
     workers: int = 1,
     tracer: Optional[Tracer] = None,
     explain: bool = False,
+    cache=None,
 ) -> FigureResult:
     """Regenerate Fig 4(a) or 4(b)."""
     if panel not in ("a", "b"):
@@ -61,6 +62,7 @@ def run(
         workers=workers,
         tracer=tracer,
         explain=explain,
+        cache=cache,
     )
     return FigureResult(
         figure=f"Fig 4({panel})",

@@ -39,6 +39,7 @@ def run(
     workers: int = 1,
     tracer: Optional[Tracer] = None,
     explain: bool = False,
+    cache=None,
 ) -> FigureResult:
     """Regenerate Fig 5(a) (CCR=0.1) or 5(b) (CCR=1)."""
     if panel not in ("a", "b"):
@@ -58,6 +59,7 @@ def run(
         workers=workers,
         tracer=tracer,
         explain=explain,
+        cache=cache,
     )
     return FigureResult(
         figure=f"Fig 5({panel})",

@@ -34,6 +34,7 @@ def run(
     workers: int = 1,
     tracer: Optional[Tracer] = None,
     explain: bool = False,
+    cache=None,
 ) -> FigureResult:
     """Regenerate Fig 6 (both panels: performance and scheduling time)."""
     procs = list(proc_counts or (QUICK_PROCS if quick else FULL_PROCS))
@@ -50,6 +51,7 @@ def run(
         workers=workers,
         tracer=tracer,
         explain=explain,
+        cache=cache,
     )
     return FigureResult(
         figure="Fig 6",

@@ -40,6 +40,7 @@ def run(
     workers: int = 1,
     tracer: Optional[Tracer] = None,
     explain: bool = False,
+    cache=None,
 ) -> FigureResult:
     """Regenerate Fig 8(a) (overlap) or 8(b) (no overlap)."""
     if panel not in ("a", "b"):
@@ -57,6 +58,7 @@ def run(
         workers=workers,
         tracer=tracer,
         explain=explain,
+        cache=cache,
     )
     return FigureResult(
         figure=f"Fig 8({panel})",

@@ -31,6 +31,7 @@ def run(
     workers: int = 1,
     tracer: Optional[Tracer] = None,
     explain: bool = False,
+    cache=None,
 ) -> FigureResult:
     """Regenerate Fig 9(a) (1024^2) or 9(b) (4096^2)."""
     if panel not in ("a", "b"):
@@ -47,6 +48,7 @@ def run(
         workers=workers,
         tracer=tracer,
         explain=explain,
+        cache=cache,
     )
     return FigureResult(
         figure=f"Fig 9({panel})",

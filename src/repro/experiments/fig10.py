@@ -32,6 +32,7 @@ def run(
     workers: int = 1,
     tracer: Optional[Tracer] = None,
     explain: bool = False,
+    cache=None,
 ) -> FigureResult:
     """Regenerate Fig 10(a) (CCSD T1 times) or 10(b) (Strassen times)."""
     if panel not in ("a", "b"):
@@ -47,6 +48,7 @@ def run(
         workers=workers,
         tracer=tracer,
         explain=explain,
+        cache=cache,
     )
     makespans = {s: result.mean_makespan(s) for s in result.schemes}
     return FigureResult(

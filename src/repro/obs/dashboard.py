@@ -256,6 +256,25 @@ def _render_tiles(
                 f"{contested} contested",
             )
         )
+    hits = sum(1 for ev in events if ev.name == ev_types.CACHE_HIT)
+    misses = sum(1 for ev in events if ev.name == ev_types.CACHE_MISS)
+    if hits or misses:
+        warm = sum(
+            1
+            for ev in events
+            if ev.name == ev_types.CACHE_WARM_START
+            and ev.fields.get("adopted")
+        )
+        hint = f"{hits} hits / {misses} misses"
+        if warm:
+            hint += f", {warm} warm starts"
+        tiles.append(
+            _tile(
+                "Cache hit rate",
+                f"{hits / (hits + misses):.1%}",
+                hint,
+            )
+        )
     return f'<div class="tiles">{"".join(tiles)}</div>'
 
 

@@ -41,6 +41,13 @@ SIM_TRANSFER = "sim_transfer"
 #: experiment harness
 EXPERIMENT_CELL = "experiment_cell"
 
+#: content-addressed schedule cache (:mod:`repro.cache`)
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+CACHE_STORE = "cache_store"
+CACHE_EVICTED = "cache_evicted"
+CACHE_WARM_START = "cache_warm_start"
+
 #: the documented event schema (ad-hoc names beyond these are permitted)
 EVENT_TYPES = frozenset(
     {
@@ -60,6 +67,11 @@ EVENT_TYPES = frozenset(
         SIM_TASK,
         SIM_TRANSFER,
         EXPERIMENT_CELL,
+        CACHE_HIT,
+        CACHE_MISS,
+        CACHE_STORE,
+        CACHE_EVICTED,
+        CACHE_WARM_START,
     }
 )
 

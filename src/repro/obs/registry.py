@@ -441,7 +441,11 @@ def registry_from_events(
       histograms of replayed task executions and transfers;
     * ``placement_regret`` — histogram of finite placement regrets (the
       runner-up margins of ``placement_decision`` events), plus
-      ``placement_decisions_total`` and ``placement_candidates_total``.
+      ``placement_decisions_total`` and ``placement_candidates_total``;
+    * ``cache_ops_total{op=...}`` — schedule-cache hits (with a ``tier``
+      label), misses, stores (with a ``mode`` label), and evictions,
+      plus ``cache_warm_starts_total{adopted=...}`` for the warm-start
+      profitability gate.
     """
     reg = MetricsRegistry(namespace=namespace)
     for ev in events:
@@ -464,6 +468,32 @@ def registry_from_events(
                 ev.fields["finish"] - ev.fields["start"],
                 buckets=SIM_BUCKETS,
                 help="simulated redistribution durations",
+            )
+        elif ev.name == "cache_hit":
+            reg.inc(
+                "cache_ops",
+                op="hit",
+                tier=ev.fields.get("tier", "memory"),
+                help="schedule cache operations",
+            )
+        elif ev.name == "cache_miss":
+            reg.inc("cache_ops", op="miss", help="schedule cache operations")
+        elif ev.name == "cache_store":
+            reg.inc(
+                "cache_ops",
+                op="store",
+                mode=ev.fields.get("mode", "cold"),
+                help="schedule cache operations",
+            )
+        elif ev.name == "cache_evicted":
+            reg.inc(
+                "cache_ops", op="eviction", help="schedule cache operations"
+            )
+        elif ev.name == "cache_warm_start":
+            reg.inc(
+                "cache_warm_starts",
+                adopted="true" if ev.fields.get("adopted") else "false",
+                help="graph-delta warm-start attempts by outcome",
             )
         elif ev.name == "placement_decision":
             from repro.schedulers.provenance import PlacementDecision

@@ -11,6 +11,12 @@
     parallel backend bit-identical (per suite and against the golden
     file), and write ``BENCH_parallel.json``. Exits non-zero on identity
     drift — never on missing speedup, which depends on free cores.
+
+``python -m repro.perf cache [--quick] [--out PATH]``
+    Benchmark the content-addressed schedule cache (cold vs hit vs
+    graph-delta warm start, Zipf-replay hit ratio) and write
+    ``BENCH_cache.json``. Exits non-zero if a hit is not bit-identical
+    to the cold run or the golden fingerprints drift.
 """
 
 from __future__ import annotations
@@ -95,6 +101,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=Path("BENCH_parallel.json"),
         help="output path (default: ./BENCH_parallel.json)",
     )
+
+    cache = sub.add_parser(
+        "cache", help="schedule-cache hit/warm-start benchmarks, emit JSON"
+    )
+    cache.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale suites (CI smoke; same shape, smaller graphs)",
+    )
+    cache.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_cache.json"),
+        help="output path (default: ./BENCH_cache.json)",
+    )
     return parser
 
 
@@ -135,6 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"cpu: count={doc['cpu']['count']} affinity={doc['cpu']['affinity']} "
             f"(speedup requires >= jobs free cores)"
         )
+        if doc["affinity_warning"]:
+            print(doc["affinity_warning"], file=sys.stderr)
         print(f"wrote {args.out}")
         if not doc["identical"] or not doc["golden_identical"]:
             for p in doc["golden_problems"]:
@@ -146,6 +169,45 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "parallel schedules diverged",
                         file=sys.stderr,
                     )
+            return 1
+        return 0
+
+    if args.command == "cache":
+        from repro.perf.cachebench import run_cachebench
+
+        doc = run_cachebench(
+            scale="quick" if args.quick else "full",
+            progress=lambda msg: print(msg, flush=True),
+        )
+        args.out.write_text(json.dumps(doc, indent=2) + "\n")
+        hit, warm, replay = doc["hit"], doc["warm"], doc["replay"]
+        print(
+            f"hit: cold {hit['cold_s']:.3f}s, hit {hit['hit_s'] * 1e3:.3f}ms "
+            f"(disk {hit['hit_disk_s'] * 1e3:.3f}ms), "
+            f"speedup {hit['hit_speedup']:.0f}x, "
+            f"bit_identical={hit['bit_identical']}"
+        )
+        print(
+            f"warm: cold {warm['cold_s']:.3f}s, warm {warm['warm_s']:.3f}s "
+            f"({warm['outcome']}, delta={warm['delta']}), "
+            f"beats_cold={warm['warm_beats_cold']}"
+        )
+        print(
+            f"replay: {replay['requests']} requests over "
+            f"{replay['num_graphs']} graphs, hit_ratio "
+            f"{replay['hit_ratio']:.3f} "
+            f"(best possible {replay['best_possible_hit_ratio']:.3f})"
+        )
+        print(f"wrote {args.out}")
+        ok = doc["golden_identical"] and hit["bit_identical"]
+        if not ok:
+            for p in doc["golden_problems"]:
+                print(f"GOLDEN DRIFT: {p}", file=sys.stderr)
+            if not hit["bit_identical"]:
+                print(
+                    "CACHE DRIFT: hit schedule differs from cold run",
+                    file=sys.stderr,
+                )
             return 1
         return 0
 

@@ -42,6 +42,7 @@ from repro.schedulers.locmps import LocMpsScheduler
 __all__ = [
     "SCHEMA",
     "available_parallelism",
+    "oversubscription_warning",
     "run_suite_parallel",
     "check_parallel_golden",
     "run_parallel",
@@ -56,6 +57,24 @@ def available_parallelism() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def oversubscription_warning(jobs: int, affinity: int) -> Optional[str]:
+    """The warning to emit when *jobs* exceeds the usable CPUs, else None.
+
+    A parallel arm with fewer free cores than workers cannot win —
+    speculation converts idle cores into prefetched LoCBS passes, and
+    with none to convert the measured "speedup" is pure oversubscription
+    overhead. Benchmarks must say so out loud instead of silently
+    reporting an unwinnable number.
+    """
+    if affinity >= jobs:
+        return None
+    return (
+        f"WARNING: {jobs} parallel jobs requested but CPU affinity allows "
+        f"only {affinity} core(s); the parallel arm cannot demonstrate "
+        f"speedup on this machine (identity checks remain valid)"
+    )
 
 
 def _run_arm(
@@ -145,6 +164,10 @@ def run_parallel(
     """Run every suite and return the full ``BENCH_parallel.json`` document."""
     if jobs < 2:
         raise ValueError(f"jobs must be >= 2 to engage speculation, got {jobs}")
+    affinity = available_parallelism()
+    warning = oversubscription_warning(jobs, affinity)
+    if warning is not None and progress is not None:
+        progress(warning)
     suites: List[Dict[str, object]] = []
     for spec in build_suites(scale):
         if progress is not None:
@@ -160,8 +183,10 @@ def run_parallel(
         "jobs": jobs,
         "cpu": {
             "count": os.cpu_count(),
-            "affinity": available_parallelism(),
+            "affinity": affinity,
+            "oversubscribed": warning is not None,
         },
+        "affinity_warning": warning,
         "methodology": (
             "Per suite, each arm schedules every graph once on a cold "
             "scheduler instance; wall_s sums Schedule.scheduling_time. "

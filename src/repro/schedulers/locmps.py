@@ -109,6 +109,18 @@ class LocMpsScheduler(Scheduler):
         whole run. Cumulative hit/miss statistics are exposed on
         :attr:`cost_cache_stats` and as ``cost_cache_*`` gauges when
         tracing. Caching never changes the produced schedule.
+    initial_allocation:
+        Optional warm-start allocation vector (``{task name: width}``),
+        typically the committed allocation of a cached near-neighbor
+        graph (see :mod:`repro.cache`). The walk still evaluates the
+        paper's all-ones seed first; the warm vector (clamped to
+        ``[1, P]``, unknown tasks ignored, missing tasks defaulting to
+        one processor) is adopted as the starting point **only if its
+        LoCBS makespan strictly beats the all-ones schedule** — when it
+        does not, the run is bit-identical to a cold one (the rejected
+        vector leaves nothing behind but a memo entry). Adoption
+        telemetry lands in :attr:`warm_start_stats` and, when tracing,
+        in ``cache_warm_start`` events.
     tracer:
         Optional :class:`repro.obs.Tracer` recording the outer allocation
         loop (``outer_iteration``, ``lookahead_step``,
@@ -143,6 +155,7 @@ class LocMpsScheduler(Scheduler):
         memo_limit: Optional[int] = None,
         cost_cache_limit: Optional[int] = None,
         parallel_workers: Optional[int] = None,
+        initial_allocation: Optional[Mapping[str, int]] = None,
         tracer: Optional[Tracer] = None,
         explain: bool = False,
     ) -> None:
@@ -177,6 +190,10 @@ class LocMpsScheduler(Scheduler):
         self.memo_limit = memo_limit
         self.cost_cache_limit = cost_cache_limit
         self.parallel_workers = parallel_workers
+        #: optional warm-start vector; only adopted when strictly profitable
+        self.initial_allocation = (
+            dict(initial_allocation) if initial_allocation is not None else None
+        )
         self.tracer = tracer or NULL_TRACER
         self.explain = explain
         #: decision provenance of the last run()'s committed schedule
@@ -193,6 +210,11 @@ class LocMpsScheduler(Scheduler):
             "edge_hits": 0, "edge_misses": 0,
             "transfer_hits": 0, "transfer_misses": 0, "transfer_clears": 0,
             "graph_hits": 0, "graph_misses": 0,
+        }
+        #: cumulative warm-start telemetry across every run(): seeds
+        #: attempted, adopted (beat all-ones), rejected (fell back cold)
+        self.warm_start_stats: Dict[str, int] = {
+            "attempted": 0, "adopted": 0, "rejected": 0,
         }
         #: cumulative speculative-prefill telemetry across every run()
         #: (all zeros unless ``parallel_workers`` enables speculation):
@@ -225,6 +247,7 @@ class LocMpsScheduler(Scheduler):
             "context": self.context,
             "memo_limit": self.memo_limit,
             "cost_cache_limit": self.cost_cache_limit,
+            "initial_allocation": self.initial_allocation,
         }
 
     # -- scheduling engine -------------------------------------------------------
@@ -492,6 +515,36 @@ class LocMpsScheduler(Scheduler):
         try:
             best_result = schedule_for(best_alloc)
             best_sl = best_result.makespan
+
+            # Warm start: a cached neighbor's allocation vector may skip
+            # most of the walk — but only if its schedule strictly beats
+            # the all-ones seed just computed. A rejected warm vector
+            # leaves nothing behind except one extra memo entry, so the
+            # rest of the run is bit-identical to a cold start.
+            if self.initial_allocation is not None:
+                warm_alloc = {
+                    t: max(1, min(P, int(self.initial_allocation.get(t, 1))))
+                    for t in tasks
+                }
+                if warm_alloc != best_alloc:
+                    self.warm_start_stats["attempted"] += 1
+                    seed_sl = best_sl
+                    warm_result = schedule_for(warm_alloc)
+                    adopted = warm_result.makespan < seed_sl * (1.0 - _IMPROVE_RTOL)
+                    if adopted:
+                        self.warm_start_stats["adopted"] += 1
+                        best_alloc = warm_alloc
+                        best_result = warm_result
+                        best_sl = warm_result.makespan
+                    else:
+                        self.warm_start_stats["rejected"] += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            "cache_warm_start",
+                            adopted=adopted,
+                            warm_makespan=warm_result.makespan,
+                            cold_seed_makespan=seed_sl,
+                        )
 
             marked: Set[Hashable] = set()
             outer_cap = self.max_outer_iterations or max(

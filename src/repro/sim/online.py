@@ -81,6 +81,14 @@ class OnlineRescheduler:
         (re)planning round records its wall-clock scheduling latency into
         the ``replan_seconds`` histogram and bumps the ``replans``
         counter (the initial plan counts as ``round="initial"``).
+    warm_start:
+        Seed each *replanning* round's scheduler with the previous
+        plan's allocation vector (the remaining subgraph differs from
+        the last planned graph by only the tasks that completed — the
+        graph-delta regime of :mod:`repro.cache`). Only schedulers
+        exposing ``initial_allocation`` (LoC-MPS) participate, and the
+        seed is adopted only when strictly profitable, so this can never
+        worsen a round's plan. The initial plan is always cold.
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class OnlineRescheduler:
         deviation_threshold: float = 0.15,
         max_replans: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        warm_start: bool = True,
     ) -> None:
         if deviation_threshold <= 0:
             raise ValueError(
@@ -112,6 +121,7 @@ class OnlineRescheduler:
         )
         self.model = RedistributionModel(cluster)
         self.metrics = metrics
+        self.warm_start = warm_start
 
     # -- noise streams -------------------------------------------------------------
 
@@ -242,10 +252,22 @@ class OnlineRescheduler:
         )
 
         static_plan: Optional[Schedule] = None
+        prev_alloc: Optional[Dict[str, int]] = None
         while len(done) < self.graph.num_tasks:
             sub, context = self._remaining_subgraph(done)
             scheduler = self._factory(context)
+            if (
+                self.warm_start
+                and prev_alloc is not None
+                and getattr(scheduler, "initial_allocation", False) is None
+            ):
+                # seed the replan with the previous plan's widths for the
+                # still-unfinished tasks (adopted only if strictly better)
+                scheduler.initial_allocation = {
+                    t: prev_alloc[t] for t in sub.tasks() if t in prev_alloc
+                }
             plan = scheduler.schedule(sub, self.cluster)
+            prev_alloc = plan.allocation()
             if self.metrics is not None:
                 self.metrics.observe(
                     "replan_seconds", plan.scheduling_time,

@@ -1,0 +1,175 @@
+"""Property tests: JSON round-trips and fingerprint invariants.
+
+The schedule cache only works if serialization is *exact* — a float that
+drifts through ``json.dumps``/``loads``, or an ordering that depends on
+insertion history, silently turns hits into validation failures (or
+worse, into wrong answers). These tests drive random graphs, clusters,
+and schedules through their JSON codecs and require bit-exact round
+trips plus insertion-order-invariant fingerprints.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, TaskGraph, validate_schedule
+from repro.cache import graph_fingerprint, graph_signature, signature_delta
+from repro.cache.fingerprint import cluster_fingerprint
+from repro.graph.serialization import graph_from_dict, graph_to_dict
+from repro.perf.golden import schedule_digest
+from repro.schedule.export import schedule_from_dict, schedule_to_dict
+from repro.schedulers import get_scheduler
+from repro.speedup import (
+    AmdahlSpeedup,
+    DowneySpeedup,
+    ExecutionProfile,
+    LinearSpeedup,
+    TableSpeedup,
+)
+
+fast_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def speedup_models(draw):
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return AmdahlSpeedup(draw(st.floats(min_value=0.0, max_value=1.0)))
+    if kind == 1:
+        return DowneySpeedup(
+            draw(st.floats(min_value=1.0, max_value=64.0)),
+            draw(st.floats(min_value=0.0, max_value=3.0)),
+        )
+    if kind == 2:
+        return LinearSpeedup(
+            cap=draw(st.one_of(st.none(), st.integers(1, 16)))
+        )
+    widths = draw(
+        st.lists(st.integers(1, 16), min_size=1, max_size=4, unique=True)
+    )
+    times = {
+        w: draw(st.floats(min_value=0.1, max_value=100.0)) for w in widths
+    }
+    if 1 not in times:
+        times[1] = draw(st.floats(min_value=0.1, max_value=100.0))
+    return TableSpeedup(times)
+
+
+@st.composite
+def task_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    g = TaskGraph(draw(st.text(min_size=1, max_size=8)))
+    for i in range(n):
+        et1 = draw(st.floats(min_value=0.5, max_value=50.0))
+        attrs = {}
+        if draw(st.booleans()):
+            attrs["kind"] = draw(st.sampled_from(["a", "b", "c"]))
+        g.add_task(f"T{i}", ExecutionProfile(draw(speedup_models()), et1), **attrs)
+    for i in range(1, n):
+        preds = draw(
+            st.sets(st.integers(min_value=0, max_value=i - 1), max_size=3)
+        )
+        for j in preds:
+            g.add_edge(
+                f"T{j}", f"T{i}", draw(st.floats(min_value=0.0, max_value=5e7))
+            )
+    return g
+
+
+clusters = st.builds(
+    Cluster,
+    num_processors=st.integers(min_value=1, max_value=8),
+    bandwidth=st.floats(min_value=1e5, max_value=1e9),
+    overlap=st.booleans(),
+    name=st.text(max_size=6),
+)
+
+
+def through_json(doc):
+    """The doc after a real serialize/parse cycle (exercises float repr)."""
+    return json.loads(json.dumps(doc))
+
+
+class TestGraphRoundTrip:
+    @given(graph=task_graphs())
+    @fast_settings
+    def test_exact_round_trip(self, graph):
+        doc = graph_to_dict(graph)
+        g2 = graph_from_dict(through_json(doc))
+        assert g2.tasks() == graph.tasks()
+        assert g2.edges() == graph.edges()
+        for u, v in graph.edges():
+            assert g2.data_volume(u, v) == graph.data_volume(u, v)
+        for t in graph.tasks():
+            assert g2.task(t).attrs == graph.task(t).attrs
+            assert (
+                g2.task(t).profile.sequential_time
+                == graph.task(t).profile.sequential_time
+            )
+        # the re-serialized doc is bit-identical: no float/ordering drift
+        assert graph_to_dict(g2) == doc
+
+    @given(graph=task_graphs(), procs=st.sampled_from([2, 4, 8]))
+    @fast_settings
+    def test_profiles_exact_at_every_width(self, graph, procs):
+        g2 = graph_from_dict(through_json(graph_to_dict(graph)))
+        for t in graph.tasks():
+            for p in range(1, procs + 1):
+                assert g2.et(t, p) == graph.et(t, p)
+
+    @given(graph=task_graphs())
+    @fast_settings
+    def test_fingerprint_survives_round_trip_and_shuffle(self, graph):
+        fp = graph_fingerprint(graph)
+        assert graph_fingerprint(
+            graph_from_dict(through_json(graph_to_dict(graph)))
+        ) == fp
+        # reversed insertion order: same content, same fingerprint
+        shuffled = TaskGraph(graph.name)
+        for name in reversed(graph.tasks()):
+            task = graph.task(name)
+            shuffled.add_task(name, task.profile, **task.attrs)
+        for u, v in reversed(graph.edges()):
+            shuffled.add_edge(u, v, graph.data_volume(u, v))
+        assert graph_fingerprint(shuffled) == fp
+        assert signature_delta(
+            graph_signature(shuffled), graph_signature(graph)
+        ) == 0
+
+
+class TestClusterRoundTrip:
+    @given(cluster=clusters)
+    @fast_settings
+    def test_exact_round_trip_via_schedule_doc(self, cluster):
+        # the cluster codec lives inside the schedule exporter
+        from repro.schedule.types import Schedule
+
+        doc = through_json(schedule_to_dict(Schedule(cluster)))
+        c2 = schedule_from_dict(doc).cluster
+        assert c2 == cluster
+        assert cluster_fingerprint(c2) == cluster_fingerprint(cluster)
+
+
+class TestScheduleRoundTrip:
+    @given(
+        graph=task_graphs(),
+        procs=st.integers(min_value=1, max_value=6),
+        scheme=st.sampled_from(["locmps", "task", "data", "mheft"]),
+    )
+    @fast_settings
+    def test_exact_round_trip(self, graph, procs, scheme):
+        cluster = Cluster(num_processors=procs, bandwidth=1e7)
+        schedule = get_scheduler(scheme).schedule(graph, cluster)
+        doc = schedule_to_dict(schedule)
+        s2 = schedule_from_dict(through_json(doc))
+        assert s2.makespan == schedule.makespan
+        assert schedule_digest(s2) == schedule_digest(schedule)
+        assert s2.scheduling_time == schedule.scheduling_time
+        assert s2.edge_comm_times == schedule.edge_comm_times
+        assert validate_schedule(s2, graph) == []
+        assert schedule_to_dict(s2) == doc

@@ -26,7 +26,7 @@ def load_example(name: str):
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "custom_speedup", "schedule_analysis"],
+    ["quickstart", "custom_speedup", "schedule_analysis", "cached_service"],
 )
 def test_example_runs(name, capsys):
     module = load_example(name)

@@ -31,6 +31,7 @@ class TestTopLevelExports:
             "repro.sim",
             "repro.workloads",
             "repro.experiments",
+            "repro.cache",
             "repro.analysis",
             "repro.utils",
         ],
