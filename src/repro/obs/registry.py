@@ -445,7 +445,10 @@ def registry_from_events(
     * ``cache_ops_total{op=...}`` — schedule-cache hits (with a ``tier``
       label), misses, stores (with a ``mode`` label), and evictions,
       plus ``cache_warm_starts_total{adopted=...}`` for the warm-start
-      profitability gate.
+      profitability gate;
+    * ``prune_probes_total{kind=...}`` — probe-ladder candidates by
+      outcome (``considered`` / ``bound_pruned`` / ``dominance_pruned``)
+      from the per-call ``prune_stats`` deltas.
     """
     reg = MetricsRegistry(namespace=namespace)
     for ev in events:
@@ -495,6 +498,16 @@ def registry_from_events(
                 adopted="true" if ev.fields.get("adopted") else "false",
                 help="graph-delta warm-start attempts by outcome",
             )
+        elif ev.name == "prune_stats":
+            for kind in ("considered", "bound_pruned", "dominance_pruned"):
+                count = int(ev.fields.get(kind, 0))
+                if count:
+                    reg.inc(
+                        "prune_probes",
+                        count,
+                        kind=kind,
+                        help="hole-scan probe-ladder candidates by outcome",
+                    )
         elif ev.name == "placement_decision":
             from repro.schedulers.provenance import PlacementDecision
 

@@ -1,7 +1,9 @@
 """CLI for the perf harness.
 
-``python -m repro.perf hotpath [--quick] [--no-reference] [--out PATH]``
+``python -m repro.perf hotpath [--quick] [--no-reference] [--profile] [--out PATH]``
     Run the hot-path micro-benchmarks and write ``BENCH_hotpath.json``.
+    ``--profile`` embeds the cProfile top-20 cumulative entries in the
+    report (and marks it ``profiled``, since wall times are then inflated).
 
 ``python -m repro.perf golden [--check | --write] [--path PATH]``
     Verify (default) or regenerate the golden schedule fingerprints.
@@ -62,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "also write an OpenMetrics exposition (per-placement time "
             "histogram) to this path"
+        ),
+    )
+    hot.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run under cProfile and embed the top-20 cumulative entries "
+            "in the report (wall times are then not comparable)"
         ),
     )
 
@@ -223,6 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         include_reference=not getattr(args, "no_reference", False),
         progress=lambda msg: print(msg, flush=True),
         metrics=registry,
+        profile=getattr(args, "profile", False),
     )
     out: Path = getattr(args, "out", Path("BENCH_hotpath.json"))
     out.write_text(json.dumps(doc, indent=2) + "\n")
@@ -235,6 +246,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{suite['name']}: optimized {opt['wall_s']:.3f}s "
             f"({opt['placements_per_s']:.0f} placements/s)"
         )
+        prune = suite.get("prune")
+        if prune:
+            line += f", prune_rate {prune['prune_rate']:.3f}"
         if "speedup" in suite:
             line += (
                 f", reference {suite['reference']['wall_s']:.3f}s, "
@@ -242,5 +256,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{suite['makespans_equal']}"
             )
         print(line)
+    if doc.get("profiled"):
+        print("top cumulative profile entries:")
+        for entry in doc["profile"][:5]:
+            print(
+                f"  {entry['cumtime_s']:9.3f}s  {entry['function']}"
+            )
     print(f"wrote {out}")
     return 0

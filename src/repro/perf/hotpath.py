@@ -274,6 +274,21 @@ def run_suite(
             metrics=metrics, suite=spec.name, arm="optimized",
         ),
     }
+    # Probe-ladder pruning telemetry of the optimized arm (the reference
+    # arm is the frozen proof arm: it never prunes, by construction).
+    opt_counters = record["optimized"]["counters"]  # type: ignore[index]
+    considered = int(opt_counters.get("cost_cache_probes_considered", 0))
+    bound = int(opt_counters.get("cost_cache_probes_bound_pruned", 0))
+    dom = int(opt_counters.get("cost_cache_probes_dominance_pruned", 0))
+    pruned = bound + dom
+    ladder = considered + pruned
+    record["prune"] = {
+        "probes_considered": considered,
+        "probes_pruned": pruned,
+        "bound_pruned": bound,
+        "dominance_pruned": dom,
+        "prune_rate": pruned / ladder if ladder else 0.0,
+    }
     if include_reference:
         record["reference"] = _run_arm(
             ReferenceLocMpsScheduler(**kwargs), graphs, spec.cluster,
@@ -293,13 +308,26 @@ def run_hotpath(
     include_reference: bool = True,
     progress: Optional[Callable[[str], None]] = None,
     metrics: Optional[MetricsRegistry] = None,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run every suite and return the full ``BENCH_hotpath.json`` document.
 
     *metrics* (optional) additionally collects the per-placement
     wall-clock histogram (``placement_seconds{suite=...,arm=...}``) for
     OpenMetrics exposition.
+
+    *profile* runs the whole benchmark under :mod:`cProfile` and embeds
+    the top-20 cumulative-time entries as the document's ``profile`` list.
+    The profiler slows everything down uniformly (2-3x), so ``wall_s`` of
+    a profiled run is NOT comparable to an unprofiled one — the report
+    stamps ``profiled: true`` so consumers cannot mix them up.
     """
+    prof = None
+    if profile:
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
     suites: List[Dict[str, object]] = []
     for spec in build_suites(scale):
         if progress is not None:
@@ -309,7 +337,7 @@ def run_hotpath(
                 spec, include_reference=include_reference, metrics=metrics
             )
         )
-    return {
+    doc: Dict[str, object] = {
         "schema": SCHEMA,
         "schema_version": BENCH_SCHEMA_VERSION,
         "scale": scale,
@@ -325,3 +353,24 @@ def run_hotpath(
         ),
         "suites": suites,
     }
+    if prof is not None:
+        import pstats
+
+        prof.disable()
+        stats = pstats.Stats(prof)
+        stats.sort_stats("cumulative")
+        entries: List[Dict[str, object]] = []
+        for func in stats.fcn_list[:20]:  # type: ignore[attr-defined]
+            _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]  # type: ignore[attr-defined]
+            filename, lineno, name = func
+            entries.append(
+                {
+                    "function": f"{filename}:{lineno}({name})",
+                    "ncalls": ncalls,
+                    "tottime_s": round(tottime, 6),
+                    "cumtime_s": round(cumtime, 6),
+                }
+            )
+        doc["profiled"] = True
+        doc["profile"] = entries
+    return doc

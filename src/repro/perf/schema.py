@@ -11,5 +11,8 @@ from __future__ import annotations
 
 __all__ = ["BENCH_SCHEMA_VERSION"]
 
-#: bump when the common envelope (not a record-specific field) changes
-BENCH_SCHEMA_VERSION = 1
+#: bump when the common envelope (not a record-specific field) changes.
+#: v2: hotpath records gained the per-suite ``prune`` section (probe-ladder
+#: pruning counters and rate) and the optional top-level ``profile`` list
+#: (cProfile top-20 cumulative entries, present only under ``--profile``).
+BENCH_SCHEMA_VERSION = 2

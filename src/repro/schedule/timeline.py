@@ -48,7 +48,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right, insort
 from heapq import heapify, heappop, heappush
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -59,21 +59,6 @@ __all__ = ["IdleSweep", "ProcessorTimeline"]
 
 #: initial per-processor capacity (columns); doubled on demand
 _INIT_CAP = 8
-
-
-def _array_insert(arr: np.ndarray, i: int, value: float, k: int) -> np.ndarray:
-    """*arr* with *k* copies of *value* inserted at position *i*.
-
-    Three slice copies into a fresh buffer — ``np.insert`` does the same
-    work through axis normalization it doesn't need here, at ~10x the cost
-    (this runs twice per reservation).
-    """
-    n = arr.size
-    out = np.empty(n + k)
-    out[:i] = arr[:i]
-    out[i : i + k] = value
-    out[i + k :] = arr[i:]
-    return out
 
 
 class ProcessorTimeline:
@@ -104,8 +89,6 @@ class ProcessorTimeline:
         "_release_times",
         "_all_starts",
         "_all_ends",
-        "_all_starts_np",
-        "_all_ends_np",
         "_ends_unique",
         "_eps_chain",
         "_eps_overlap",
@@ -131,13 +114,10 @@ class ProcessorTimeline:
         self._prange = np.arange(n)
         #: global sorted list of busy-interval end times (one per reserve)
         self._release_times: List[float] = []
-        #: global sorted boundaries with per-processor multiplicity, kept
-        #: both as Python lists (scalar bisect) and numpy arrays (the slot
-        #: search filters whole candidate blocks with one searchsorted)
+        #: global sorted boundaries with per-processor multiplicity — the
+        #: busy-count identity of the slot search is two bisects over them
         self._all_starts: List[float] = []
         self._all_ends: List[float] = []
-        self._all_starts_np = np.empty(0)
-        self._all_ends_np = np.empty(0)
         #: sorted end times, exact duplicates removed
         self._ends_unique: List[float] = []
         #: True once two *distinct* end times sit within EPS of each other
@@ -241,10 +221,8 @@ class ProcessorTimeline:
         k = len(plist)
         i = bisect_right(self._all_starts, start)
         self._all_starts[i:i] = [start] * k
-        self._all_starts_np = _array_insert(self._all_starts_np, i, start, k)
         i = bisect_right(self._all_ends, end)
         self._all_ends[i:i] = [end] * k
-        self._all_ends_np = _array_insert(self._all_ends_np, i, end, k)
         insort(self._release_times, end)
         eu = self._ends_unique
         i = bisect_right(eu, end)
@@ -415,6 +393,34 @@ class ProcessorTimeline:
                 prev = t
         return out
 
+    def release_times_after(self, after: float) -> Iterator[float]:
+        """Lazy :meth:`release_times` — same values, yielded on demand.
+
+        The backfill probe ladder usually stops after the first couple of
+        candidates once its admissible bound closes the scan, so it should
+        not pay for materializing (and copying) the whole tail. Only valid
+        while the chart is unmodified — the slot search never reserves
+        mid-scan, so iteration is always over a frozen chart.
+        """
+        if not self._eps_chain:
+            eu = self._ends_unique
+            for i in range(bisect_right(eu, after + EPS), len(eu)):
+                yield eu[i]
+            return
+        yield from self.release_times(after)
+
+    def release_count_after(self, after: float) -> int:
+        """``len(release_times(after))`` without materializing the list.
+
+        One bisect on the maintained unique-ends list in the common
+        EPS-chain-free case; lets the probe ladder report how many
+        candidates its bound pruned even though they were never generated.
+        """
+        if not self._eps_chain:
+            eu = self._ends_unique
+            return len(eu) - bisect_right(eu, after + EPS)
+        return len(self.release_times(after))
+
     def boundary_times(self, after: float) -> List[float]:
         """Sorted deduplicated interval starts *and* ends after *after*."""
         seen: Set[float] = set()
@@ -481,11 +487,6 @@ class ProcessorTimeline:
             self._all_ends
         ) != self._all_ends:
             raise ScheduleError("global boundary lists unsorted")
-        if (
-            self._all_starts_np.tolist() != self._all_starts
-            or self._all_ends_np.tolist() != self._all_ends
-        ):
-            raise ScheduleError("global boundary arrays drifted from lists")
         if sorted(set(self._all_ends)) != self._ends_unique:
             raise ScheduleError("unique-ends list out of sync")
 

@@ -205,11 +205,16 @@ class LocMpsScheduler(Scheduler):
             "hits": 0, "misses": 0, "evictions": 0, "peak_size": 0, "size": 0,
         }
         #: cumulative cost-cache telemetry across every run() (hits/misses
-        #: of the edge-estimate and concrete-transfer memos)
+        #: of the edge-estimate / concrete-transfer / admissible-bound
+        #: memos, plus the hole-scan probe-ladder pruning counters)
         self.cost_cache_stats: Dict[str, int] = {
             "edge_hits": 0, "edge_misses": 0,
             "transfer_hits": 0, "transfer_misses": 0, "transfer_clears": 0,
             "graph_hits": 0, "graph_misses": 0,
+            "min_transfer_hits": 0, "min_transfer_misses": 0,
+            "probes_considered": 0,
+            "probes_bound_pruned": 0,
+            "probes_dominance_pruned": 0,
         }
         #: cumulative warm-start telemetry across every run(): seeds
         #: attempted, adopted (beat all-ones), rejected (fell back cold)

@@ -17,12 +17,18 @@ preserved verbatim in :mod:`repro.perf.scalar_oracles`:
   stable);
 * the known edge cases — zero-duration tasks, back-to-back spans, empty
   processor sets, single-processor machines, coprime layout sizes whose
-  lcm period must never be materialized — are pinned explicitly.
+  lcm period must never be materialized — are pinned explicitly;
+* the bound-and-prune layer of the LoCBS hole scan runs prune-on vs
+  prune-off (``locbs._PRUNING_ENABLED``) over the full registry and on
+  adversarially tight fuzzed graphs (zero-volume parents, sub-EPS
+  execution times, single-processor machines), asserting bit-identical
+  schedules, plus the admissibility of ``min_transfer_time`` itself.
 """
 
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -31,6 +37,7 @@ from hypothesis import strategies as st
 
 from repro.cluster import MYRINET_2GBPS, Cluster
 from repro.exceptions import RedistributionError, ScheduleError
+from repro.graph import TaskGraph
 from repro.perf.hotpath import deep_dag, wide_dag
 from repro.perf.reference import ReferenceLocMpsScheduler
 from repro.perf.scalar_oracles import (
@@ -50,7 +57,14 @@ from repro.redistribution import (
 from repro.redistribution.blockcyclic import pair_fractions
 from repro.schedule import IdleSweep, ProcessorTimeline
 from repro.schedulers import SCHEDULERS, get_scheduler
+from repro.schedulers import locbs as locbs_mod
+from repro.schedulers.context import SchedulingContext
+from repro.schedulers.costcache import CostCache
+from repro.schedulers.locbs import LocbsOptions, locbs_schedule
 from repro.schedulers.locmps import LocMpsScheduler
+from repro.schedulers.provenance import ProvenanceRecorder
+from repro.speedup import AmdahlSpeedup, ExecutionProfile
+from repro.utils.intervals import EPS
 from repro.workloads.strassen import strassen_graph
 from repro.workloads.tce import ccsd_t1_graph
 
@@ -487,3 +501,184 @@ class TestBlockCyclicEdgeCases:
         model = RedistributionModel(Cluster(num_processors=4, bandwidth=1e9))
         assert model.transfer_time(src, src, 5e8) == 0.0
         assert model.single_port_time((0,), (0,), 7.0) == 0.0
+
+
+# -- bound-and-prune differential ---------------------------------------------
+#
+# The LoCBS hole scan carries an admissible-bound early exit and a
+# dominance memo (repro.schedulers.locbs). Both claim to skip only probes
+# the unpruned scan could never have won, so flipping the kill switch must
+# not move a single float in any produced schedule.
+
+
+@contextmanager
+def _pruning_disabled():
+    """Run with neutral bound terms: the seed's weak ``tau + et`` break only."""
+    prev = locbs_mod._PRUNING_ENABLED
+    locbs_mod._PRUNING_ENABLED = False
+    try:
+        yield
+    finally:
+        locbs_mod._PRUNING_ENABLED = prev
+
+
+def _schedule_rows(schedule):
+    return sorted(
+        (p.name, p.start, p.exec_start, p.finish, p.processors)
+        for p in schedule
+    )
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+class TestPruneDifferential:
+    def test_schedules_bit_identical_with_pruning_off(self, name, workload):
+        graph = WORKLOADS[workload]()
+        cluster = _cluster()
+        pruned = get_scheduler(name).schedule(graph, cluster)
+        with _pruning_disabled():
+            unpruned = get_scheduler(name).schedule(graph, cluster)
+        assert pruned.makespan == unpruned.makespan
+        assert _schedule_rows(pruned) == _schedule_rows(unpruned)
+        assert pruned.edge_comm_times == unpruned.edge_comm_times
+
+
+# Adversarially tight inputs for the prune fuzz: ``et = 0`` exactly is
+# rejected by profile validation, so sub-EPS execution times stand in for
+# it — they turn the busy rectangle into an EPS-empty reserve, the
+# tightest discretization the chart admits. Volumes are zero-heavy on
+# purpose: zero-volume parents collapse the transfer bound to 0 and the
+# locality map to empty, the degenerate corners of the bound arithmetic.
+_tiny_et = st.sampled_from([EPS / 4, EPS, 4 * EPS, 1e-6, 0.5, 3.0])
+_volumes = st.sampled_from([0.0, 0.0, 0.0, 1.0, 64.0, 1e6])
+
+
+@st.composite
+def _tight_graph(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    g = TaskGraph("tight")
+    for i in range(n):
+        serial = draw(st.sampled_from([0.0, 0.5, 1.0]))
+        g.add_task(
+            f"T{i}", ExecutionProfile(AmdahlSpeedup(serial), draw(_tiny_et))
+        )
+    for j in range(1, n):
+        for i in range(j):
+            if draw(st.booleans()):
+                g.add_edge(f"T{i}", f"T{j}", draw(_volumes))
+    return g
+
+
+class TestPruneFuzz:
+    @given(
+        graph=_tight_graph(),
+        procs=st.sampled_from([1, 2, 5]),
+        overlap=st.booleans(),
+    )
+    @fuzz_settings
+    def test_adversarial_graphs_prune_on_off_and_reference_agree(
+        self, graph, procs, overlap
+    ):
+        """P=1 machines, sub-EPS tasks, zero-volume edges: still identical."""
+        cluster = Cluster(
+            num_processors=procs, bandwidth=MYRINET_2GBPS, overlap=overlap
+        )
+        fast = LocMpsScheduler(look_ahead_depth=2).schedule(graph, cluster)
+        with _pruning_disabled():
+            off = LocMpsScheduler(look_ahead_depth=2).schedule(graph, cluster)
+        ref = ReferenceLocMpsScheduler(look_ahead_depth=2).schedule(
+            graph, cluster
+        )
+        assert _schedule_rows(fast) == _schedule_rows(off)
+        assert _schedule_rows(fast) == _schedule_rows(ref)
+        assert fast.makespan == ref.makespan
+
+    @given(
+        src=_layout,
+        dst=_layout,
+        vol=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    )
+    @fuzz_settings
+    def test_min_transfer_time_is_admissible_and_cached_exact(
+        self, src, dst, vol
+    ):
+        """``min_transfer_time(|S|, |D|, v) <= transfer_time(S, D, v)``.
+
+        This inequality over *every* concrete processor-set pair is the
+        entire soundness argument of the probe-ladder bound; the cached
+        copy must be the bit-exact model value.
+        """
+        cluster = Cluster(num_processors=32, bandwidth=1e9)
+        model = RedistributionModel(cluster)
+        lb = model.min_transfer_time(len(src), len(dst), vol)
+        assert lb <= model.transfer_time(src, dst, vol)
+        cache = CostCache(cluster)
+        assert cache.min_transfer_time(len(src), len(dst), vol) == lb
+        assert cache.min_transfer_time(len(src), len(dst), vol) == lb
+        assert cache.stats["min_transfer_hits"] == 1
+
+    @given(data=_reserve_ops(), base=_starts)
+    @fuzz_settings
+    def test_lazy_release_ladder_matches_eager_list(self, data, base):
+        """The lazy candidate ladder yields exactly ``release_times``.
+
+        Covers EPS-chain charts too: the quantized reserve strategy
+        manufactures end times within EPS of each other, flipping the
+        timeline onto its chain-collapse slow path.
+        """
+        num_procs, ops = data
+        tl = ProcessorTimeline(range(num_procs))
+        for procs, start, dur in ops:
+            plist = sorted(procs)
+            if tl.is_free(plist, start, start + dur):
+                tl.reserve(plist, start, start + dur)
+        releases = tl.release_times(-1.0)
+        probes = [-1.0, base] + releases + [t + EPS / 2 for t in releases]
+        for after in probes:
+            eager = tl.release_times(after)
+            assert list(tl.release_times_after(after)) == eager
+            assert tl.release_count_after(after) == len(eager)
+
+
+class TestNoBackfillEpsMerge:
+    """The EPS-aware merge of near-equal no-backfill candidate starts."""
+
+    def test_eps_near_candidate_dropped_without_changing_the_schedule(self):
+        # processors 1 and 2 free within EPS/2 of processor 0: the merged
+        # arm probes 1.0 only, the recording arm pins the raw ladder
+        graph = TaskGraph("merge")
+        prof = ExecutionProfile(AmdahlSpeedup(1.0), 2.0)
+        graph.add_task("a", prof)
+        graph.add_task("b", prof)
+        graph.add_edge("a", "b", 1e6)
+        cluster = Cluster(num_processors=4, bandwidth=MYRINET_2GBPS)
+        context = SchedulingContext(
+            processor_ready={0: 1.0, 1: 1.0 + EPS / 2, 2: 1.0 + EPS / 2}
+        )
+        alloc = {"a": 2, "b": 2}
+        opts = LocbsOptions(backfill=False)
+        merged = locbs_schedule(
+            graph, cluster, alloc, opts, context=context
+        ).schedule
+        rec = ProvenanceRecorder()
+        raw = locbs_schedule(
+            graph, cluster, alloc, opts, context=context, provenance=rec
+        ).schedule
+        assert _schedule_rows(merged) == _schedule_rows(raw)
+        # the recording arm really probed the EPS-near duplicate the merge
+        # provably dropped
+        taus = [c.tau for c in rec.decision_for("a").candidates]
+        assert 1.0 + EPS / 2 in taus
+
+    def test_nobackfill_merged_arm_matches_recording_arm(self):
+        graph = WORKLOADS["wide-synthetic"]()
+        cluster = _cluster()
+        alloc = {t: 1 + (i % 3) for i, t in enumerate(graph.tasks())}
+        opts = LocbsOptions(backfill=False)
+        merged = locbs_schedule(graph, cluster, alloc, opts).schedule
+        rec = ProvenanceRecorder()
+        raw = locbs_schedule(
+            graph, cluster, alloc, opts, provenance=rec
+        ).schedule
+        assert _schedule_rows(merged) == _schedule_rows(raw)
+        assert len(rec.decisions) == len(list(graph.tasks()))

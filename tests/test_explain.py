@@ -179,6 +179,35 @@ class TestExplainScheduler:
         assert losers
         assert all(c.margin >= 0.0 and math.isfinite(c.margin) for c in losers)
 
+    def test_pruning_does_not_change_explain_output(self):
+        """Provenance keeps probing past the bound: losers keep true margins.
+
+        The recording scan counts bound-closed probes in ``pruned`` but
+        still times them, so every decision must list the same candidates
+        probe-for-probe whether the bound-and-prune layer is on or off.
+        """
+        import repro.schedulers.locbs as locbs_mod
+
+        g = build_random_graph(12, seed=3, ccr_volume=10e6)
+        c = Cluster(num_processors=4, bandwidth=12.5e6)
+        on = LocMpsScheduler(explain=True)
+        on.schedule(g, c)
+        prev = locbs_mod._PRUNING_ENABLED
+        locbs_mod._PRUNING_ENABLED = False
+        try:
+            off = LocMpsScheduler(explain=True)
+            off.schedule(g, c)
+        finally:
+            locbs_mod._PRUNING_ENABLED = prev
+        assert len(on.provenance) == len(off.provenance)
+        for d_on, d_off in zip(on.provenance.decisions, off.provenance.decisions):
+            assert d_on.task == d_off.task
+            assert d_on.winner == d_off.winner
+            assert d_on.candidates == d_off.candidates
+            # the arms may disagree only on how many probes the bound
+            # *would* have closed (the neutral bound flags none)
+            assert d_on.pruned >= d_off.pruned
+
     def test_placement_decision_events_reach_the_tracer(self):
         tr = Tracer()
         g = build_random_graph(10, seed=7, ccr_volume=10e6)
