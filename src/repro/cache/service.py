@@ -213,6 +213,19 @@ class CachedScheduleService:
             neighbor_fp=neighbor_fp if adopted else None,
         )
 
+    def allocation_for(
+        self, graph: TaskGraph, cluster: Cluster
+    ) -> Dict[str, int]:
+        """Serve a request and return just its allocation vector.
+
+        The online daemon's admission path only needs processor *widths*
+        at submit time (the concrete placement is decided by the live
+        splice), but routing the lookup through the full service means a
+        repeated job template resolves as a hit — and a near-duplicate as
+        a warm start — instead of a cold allocation walk per arrival.
+        """
+        return self.schedule(graph, cluster).schedule.allocation()
+
     def snapshot(self) -> Dict[str, Any]:
         """Service + cache telemetry in one dict."""
         out: Dict[str, Any] = dict(self.stats)

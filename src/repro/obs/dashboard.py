@@ -290,6 +290,26 @@ def _render_tiles(
                 f"{considered} considered, {bound} bound, {dom} dominance",
             )
         )
+    online_latencies = []
+    max_depth = 0
+    for ev in events:
+        if ev.name == ev_types.ONLINE_EVENT:
+            online_latencies.append(float(ev.fields.get("latency_s", 0.0)))
+            max_depth = max(max_depth, int(ev.fields.get("queue_depth", 0)))
+    if online_latencies:
+        ordered = sorted(online_latencies)
+        rank = max(0, math.ceil(0.95 * len(ordered)) - 1)
+        p95 = ordered[min(rank, len(ordered) - 1)]
+        placed = sum(1 for ev in events if ev.name == ev_types.JOB_PLACED)
+        rejected = sum(1 for ev in events if ev.name == ev_types.JOB_REJECTED)
+        tiles.append(
+            _tile(
+                "Online p95 latency",
+                f"{p95 * 1e3:.2f} ms",
+                f"{len(online_latencies)} events, {placed} placed, "
+                f"{rejected} rejected, max queue depth {max_depth}",
+            )
+        )
     return f'<div class="tiles">{"".join(tiles)}</div>'
 
 

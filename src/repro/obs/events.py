@@ -52,6 +52,15 @@ CACHE_STORE = "cache_store"
 CACHE_EVICTED = "cache_evicted"
 CACHE_WARM_START = "cache_warm_start"
 
+#: online scheduler daemon (:mod:`repro.online`) — per-event wall-clock
+#: latency spans (``kind``, ``latency_s``, ``queue_depth``) and job
+#: lifecycle markers (``job``, ``sim_time``)
+ONLINE_EVENT = "online_event"
+JOB_SUBMITTED = "job_submitted"
+JOB_PLACED = "job_placed"
+JOB_FINISHED = "job_finished"
+JOB_REJECTED = "job_rejected"
+
 #: the documented event schema (ad-hoc names beyond these are permitted)
 EVENT_TYPES = frozenset(
     {
@@ -77,6 +86,11 @@ EVENT_TYPES = frozenset(
         CACHE_STORE,
         CACHE_EVICTED,
         CACHE_WARM_START,
+        ONLINE_EVENT,
+        JOB_SUBMITTED,
+        JOB_PLACED,
+        JOB_FINISHED,
+        JOB_REJECTED,
     }
 )
 

@@ -448,7 +448,11 @@ def registry_from_events(
       profitability gate;
     * ``prune_probes_total{kind=...}`` — probe-ladder candidates by
       outcome (``considered`` / ``bound_pruned`` / ``dominance_pruned``)
-      from the per-call ``prune_stats`` deltas.
+      from the per-call ``prune_stats`` deltas;
+    * ``online_event_seconds{kind=...}`` / ``online_queue_depth`` /
+      ``online_jobs_total{op=...}`` — per-event handler latency,
+      deferred-queue depth, and job lifecycle counts from the online
+      daemon's ``online_event`` / ``job_*`` events.
     """
     reg = MetricsRegistry(namespace=namespace)
     for ev in events:
@@ -508,6 +512,26 @@ def registry_from_events(
                         kind=kind,
                         help="hole-scan probe-ladder candidates by outcome",
                     )
+        elif ev.name == "online_event":
+            reg.observe(
+                "online_event_seconds",
+                float(ev.fields.get("latency_s", 0.0)),
+                kind=ev.fields.get("kind", "unknown"),
+                help="online daemon per-event handler latency (wall-clock)",
+            )
+            reg.set_gauge(
+                "online_queue_depth",
+                float(ev.fields.get("queue_depth", 0)),
+                help="online daemon deferred-queue depth (last observed)",
+            )
+        elif ev.name in (
+            "job_submitted", "job_placed", "job_finished", "job_rejected"
+        ):
+            reg.inc(
+                "online_jobs",
+                op=ev.name.split("_", 1)[1],
+                help="online daemon job lifecycle transitions",
+            )
         elif ev.name == "placement_decision":
             from repro.schedulers.provenance import PlacementDecision
 

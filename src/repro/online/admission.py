@@ -1,0 +1,73 @@
+"""Admission control for the online daemon.
+
+Three knobs, all optional (``None`` disables the check):
+
+``max_width``
+    Jobs whose widest task exceeds this many processors are **rejected**
+    outright (they would monopolize the machine or cannot fit at all).
+``max_pending``
+    Upper bound on the deferred queue; arrivals past it are **rejected**
+    (back-pressure instead of unbounded memory growth).
+``max_backlog``
+    When the chart's horizon runs more than this far ahead of the
+    current simulated time, new arrivals are **deferred** until capacity
+    frees up (they drain FIFO at job-finish ``REPLAN`` events). Bounds
+    how far the daemon over-commits the machine, which in turn bounds
+    per-event splice cost: the hole scan only walks release times of the
+    live window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ScheduleError
+
+__all__ = ["AdmissionDecision", "AdmissionPolicy"]
+
+
+class AdmissionDecision(enum.Enum):
+    """What to do with an arriving (or deferred) job."""
+
+    PLACE = "place"
+    DEFER = "defer"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Declarative admission rules; see the module docstring."""
+
+    max_width: Optional[int] = None
+    max_pending: Optional[int] = None
+    max_backlog: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_width is not None and self.max_width < 1:
+            raise ScheduleError(f"max_width must be >= 1, got {self.max_width}")
+        if self.max_pending is not None and self.max_pending < 0:
+            raise ScheduleError(
+                f"max_pending must be >= 0, got {self.max_pending}"
+            )
+        if self.max_backlog is not None and self.max_backlog < 0:
+            raise ScheduleError(
+                f"max_backlog must be >= 0, got {self.max_backlog}"
+            )
+
+    def decide(
+        self, *, width: int, pending_depth: int, backlog: float
+    ) -> AdmissionDecision:
+        """Classify one job given the machine's current state.
+
+        ``backlog`` is ``max(0, chart horizon - now)`` — how much already
+        committed work lies ahead of the present moment.
+        """
+        if self.max_width is not None and width > self.max_width:
+            return AdmissionDecision.REJECT
+        if self.max_pending is not None and pending_depth >= self.max_pending:
+            return AdmissionDecision.REJECT
+        if self.max_backlog is not None and backlog > self.max_backlog:
+            return AdmissionDecision.DEFER
+        return AdmissionDecision.PLACE

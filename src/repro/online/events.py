@@ -1,0 +1,73 @@
+"""Deterministic priority event queue for the online daemon.
+
+The daemon's whole correctness story — and the bit-identity of the
+incremental/cold differential — rests on events firing in one reproducible
+order. The queue orders by ``(time, kind priority, sequence number)``:
+
+* at equal timestamps, :data:`~OnlineEventKind.JOB_FINISH` fires before
+  :data:`~OnlineEventKind.REPLAN` fires before
+  :data:`~OnlineEventKind.JOB_SUBMIT` — resources are released and the
+  deferred queue drained before a simultaneous arrival is admitted;
+* the sequence number breaks remaining ties in push order, so the queue
+  never compares payloads (no reliance on dict/hash order anywhere —
+  the ``PYTHONHASHSEED`` determinism test in
+  ``tests/test_online_daemon.py`` holds the daemon to this).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["OnlineEventKind", "OnlineEvent", "EventQueue"]
+
+
+class OnlineEventKind(enum.IntEnum):
+    """Daemon event kinds; the integer value IS the same-time priority."""
+
+    JOB_FINISH = 0
+    REPLAN = 1
+    JOB_SUBMIT = 2
+    JOB_START = 3
+
+
+@dataclass(frozen=True)
+class OnlineEvent:
+    """One scheduled occurrence in the daemon's simulated time."""
+
+    time: float
+    kind: OnlineEventKind
+    job_id: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OnlineEvent({self.time:.4f}, {self.kind.name}, {self.job_id!r})"
+
+
+class EventQueue:
+    """Min-heap of :class:`OnlineEvent` with the deterministic tie-break."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, OnlineEvent]] = []
+        self._seq = 0
+
+    def push(self, event: OnlineEvent) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (event.time, int(event.kind), self._seq, event)
+        )
+
+    def pop(self) -> OnlineEvent:
+        return heapq.heappop(self._heap)[3]
+
+    def peek_time(self) -> float:
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -19,6 +19,13 @@
     graph-delta warm start, Zipf-replay hit ratio) and write
     ``BENCH_cache.json``. Exits non-zero if a hit is not bit-identical
     to the cold run or the golden fingerprints drift.
+
+``python -m repro.perf online [--quick] [--out PATH]``
+    Replay Poisson/Zipf and SWF job streams through the online daemon
+    with the incremental/cold differential on, and write
+    ``BENCH_online.json`` (throughput, per-event latency percentiles,
+    incremental-vs-cold speedup). Exits non-zero if the two arms ever
+    diverge bit-wise.
 """
 
 from __future__ import annotations
@@ -126,6 +133,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=Path("BENCH_cache.json"),
         help="output path (default: ./BENCH_cache.json)",
     )
+
+    online = sub.add_parser(
+        "online", help="online daemon incremental-vs-cold benchmarks, emit JSON"
+    )
+    online.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale replays (CI smoke; same shape, fewer jobs)",
+    )
+    online.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_online.json"),
+        help="output path (default: ./BENCH_online.json)",
+    )
     return parser
 
 
@@ -218,6 +240,38 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "CACHE DRIFT: hit schedule differs from cold run",
                     file=sys.stderr,
                 )
+            return 1
+        return 0
+
+    if args.command == "online":
+        from repro.perf.onlinebench import run_onlinebench
+
+        doc = run_onlinebench(
+            scale="quick" if args.quick else "full",
+            progress=lambda msg: print(msg, flush=True),
+        )
+        args.out.write_text(json.dumps(doc, indent=2) + "\n")
+        for suite in doc["suites"]:
+            speedup = suite["median_speedup"]
+            speedup_s = f"{speedup:.2f}x" if speedup else "n/a"
+            print(
+                f"{suite['name']}: {suite['placed']}/{suite['jobs']} placed, "
+                f"{suite['submissions_per_sim_hour']:.0f} submissions/"
+                f"sim-hour, event p95 "
+                f"{suite['event_latency']['p95'] * 1e3:.3f} ms, "
+                f"incremental p50 "
+                f"{suite['incremental']['p50'] * 1e3:.3f} ms vs cold "
+                f"{suite['cold']['p50'] * 1e3:.3f} ms "
+                f"(speedup {speedup_s}), identical={suite['identical']}, "
+                f"probes {suite['probes']}"
+            )
+        if doc["latency_caveat"]:
+            print(f"caveat: {doc['latency_caveat']}")
+        print(f"wrote {args.out}")
+        if not doc["identical"]:
+            for suite in doc["suites"]:
+                for m in suite["mismatches"]:
+                    print(f"ONLINE DRIFT: {suite['name']}: {m}", file=sys.stderr)
             return 1
         return 0
 

@@ -15,4 +15,8 @@ __all__ = ["BENCH_SCHEMA_VERSION"]
 #: v2: hotpath records gained the per-suite ``prune`` section (probe-ladder
 #: pruning counters and rate) and the optional top-level ``profile`` list
 #: (cProfile top-20 cumulative entries, present only under ``--profile``).
-BENCH_SCHEMA_VERSION = 2
+#: v3: the ``repro.perf.online/v1`` record joined the family
+#: (``BENCH_online.json``: per-suite incremental/cold latency stats,
+#: ``median_speedup``, differential ``identical`` flag, per-arm ``probes``
+#: counts, and a ``latency_caveat`` string on single-core runs).
+BENCH_SCHEMA_VERSION = 3

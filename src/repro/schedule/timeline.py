@@ -434,6 +434,29 @@ class ProcessorTimeline:
         """Latest busy end across all processors (0 for an empty chart)."""
         return self._release_times[-1] if self._release_times else 0.0
 
+    def busy_time(self) -> float:
+        """Total busy span length summed over all processors (machine-seconds).
+
+        Spans never overlap within a row (modulo the EPS cases tracked by
+        :attr:`counts_exact`), so the sum of lengths is the chart's
+        occupied area.
+        """
+        total = 0.0
+        for sl, el in zip(self._starts_l, self._ends_l):
+            for s, e in zip(sl, el):
+                total += e - s
+        return total
+
+    def utilization(self, until: float) -> float:
+        """Fraction of the chart area ``P * until`` that is busy.
+
+        The online daemon reports this over the simulated span; 0 when
+        *until* is not positive (empty machine, nothing submitted yet).
+        """
+        if until <= 0:
+            return 0.0
+        return self.busy_time() / (len(self._procs) * until)
+
     def first_fit_start(
         self, procs: Iterable[int], earliest: float, duration: float
     ) -> float:

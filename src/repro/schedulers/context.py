@@ -58,10 +58,22 @@ class SchedulingContext:
     free (processors absent from the mapping are free at 0).
     ``external_inputs`` maps a remaining task to the inputs produced by
     tasks that are no longer part of the graph being scheduled.
+    ``release_floor`` is an absolute lower bound on every task's start —
+    the submission time of a job arriving into a live chart (the online
+    daemon's incremental splice); tasks with parents finishing later are
+    unaffected, but root tasks cannot be backfilled into holes that
+    predate the job's arrival.
     """
 
     processor_ready: Dict[int, float] = field(default_factory=dict)
     external_inputs: Dict[str, List[ExternalInput]] = field(default_factory=dict)
+    release_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.release_floor < 0:
+            raise ScheduleError(
+                f"negative release floor {self.release_floor}"
+            )
 
     def inputs_for(self, task: str) -> Sequence[ExternalInput]:
         return self.external_inputs.get(task, ())

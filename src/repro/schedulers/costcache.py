@@ -139,6 +139,22 @@ class CostCache:
         self._graph_memo[key] = (graph, size, inv)
         return inv
 
+    def release_graph(self, graph: TaskGraph) -> None:
+        """Drop per-graph state for a job that left the machine.
+
+        A long-lived cache (the online daemon keeps one for its whole run)
+        would otherwise pin every finished job's graph via the invariants
+        memo and accumulate edge entries forever. Job task names are
+        namespaced per submission, so an edge key belongs to exactly one
+        graph and dropping it cannot evict another job's estimates. The
+        transfer memo is left alone: it is keyed by concrete processor
+        sets and volumes, is name-independent, and is exactly the
+        cross-job reuse the daemon wants.
+        """
+        self._graph_memo.pop(id(graph), None)
+        for edge in graph.edges():
+            self._edge_memo.pop(edge, None)
+
     # -- allocation-time estimates -------------------------------------------------
 
     def edge_cost_map(

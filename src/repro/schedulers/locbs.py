@@ -70,7 +70,13 @@ from repro.schedulers.provenance import (
 )
 from repro.utils.intervals import EPS
 
-__all__ = ["LocbsOptions", "ReadyQueue", "locbs_schedule", "task_priorities"]
+__all__ = [
+    "LocbsOptions",
+    "ReadyQueue",
+    "locbs_schedule",
+    "splice_schedule",
+    "task_priorities",
+]
 
 #: tolerance when matching a blocked start time against finish times
 _PSEUDO_TOL = 1e-6
@@ -353,6 +359,83 @@ def locbs_schedule(
     return SchedulingResult(schedule=schedule, sdag=sdag)
 
 
+def splice_schedule(
+    graph: TaskGraph,
+    cluster: Cluster,
+    allocation: Mapping[str, int],
+    timeline: ProcessorTimeline,
+    *,
+    release_floor: float = 0.0,
+    options: LocbsOptions = LocbsOptions(),
+    cost_cache: Optional[CostCache] = None,
+    index: Optional[PlacementIndex] = None,
+) -> List[PlacedTask]:
+    """Place *graph* into a **live** chart, mutating *timeline* in place.
+
+    The online daemon's incremental hot path: where :func:`locbs_schedule`
+    starts from an empty machine, this runs the identical hole scan
+    against whatever busy intervals *timeline* already holds — an arriving
+    job is spliced around every committed placement, probing only
+    ``release_floor`` (its submission time) and the release times after
+    it, so the per-event cost scales with the job and the chart's *open*
+    holes, not with the accumulated history.
+
+    Determinism contract: the produced placements are a pure function of
+    the chart's *content* (the timeline's sorted structures are
+    insertion-order independent), the graph, the allocation vector, and
+    ``release_floor`` — which is what lets the cold-rebuild differential
+    arm replay the same splices from an empty machine and demand
+    bit-identical results (``tests/test_online_daemon.py``).
+
+    *index* (optional) receives every placement in commit order, so a
+    persistent :class:`~repro.schedule.PlacementIndex` can answer
+    "which job blocked this arrival" queries across events. *cost_cache*
+    (optional) is the cross-event memo — cached values are exact, so
+    sharing it never changes the schedule. Returns the placements in
+    commit order; task names must not collide with tasks already on the
+    chart (the daemon namespaces them per job).
+    """
+    alloc = clamp_allocation(graph, cluster, allocation)
+    cache = cost_cache if cost_cache is not None else CostCache(cluster)
+    inv = cache.graph_invariants(graph)
+    context = SchedulingContext(release_floor=release_floor)
+
+    est_costs = cache.edge_cost_map(graph, alloc, comm_blind=options.comm_blind)
+    bl = _bottom_levels_under(inv, graph, alloc, est_costs)
+    prio = task_priorities(graph, bl, est_costs, preds=inv.preds)
+
+    preds = inv.preds
+    placed: Dict[str, PlacedTask] = {}
+    out: List[PlacedTask] = []
+    unplaced = set(graph.tasks())
+    placed_count: Dict[str, int] = {t: 0 for t in unplaced}
+    n_preds = {t: len(ps) for t, ps in preds.items()}
+    ready = ReadyQueue(prio)
+    for t in graph.tasks():
+        if n_preds[t] == 0:
+            ready.push(t)
+
+    while unplaced:
+        if not ready:
+            raise ScheduleError("no ready task but tasks remain: cyclic graph?")
+        tp = ready.pop()
+        unplaced.discard(tp)
+        placement, _comm, _est = _place_task(
+            tp, preds[tp], graph, cluster, alloc, cache, timeline, placed,
+            options, context,
+        )
+        timeline.reserve(placement.processors, placement.start, placement.finish)
+        placed[tp] = placement
+        out.append(placement)
+        if index is not None:
+            index.add(placement)
+        for succ in inv.succs[tp]:
+            placed_count[succ] += 1
+            if placed_count[succ] == n_preds[succ] and succ in unplaced:
+                ready.push(succ)
+    return out
+
+
 def _place_task(
     tp: str,
     parents: Sequence[str],
@@ -393,6 +476,11 @@ def _place_task(
             )
 
     ready_base = max((ft for _, _, ft, _ in parent_info), default=0.0)
+    if context is not None and context.release_floor > ready_base:
+        # An online arrival cannot be backfilled before its submission
+        # time, even into holes the chart still has there (floor 0.0 for
+        # every offline caller, so this clamp is a no-op off the daemon).
+        ready_base = context.release_floor
 
     # Per-processor locality score: bytes of tp's input already resident.
     # Sparse: empty when the task has no incoming data (CCR=0, comm-blind),

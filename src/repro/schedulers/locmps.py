@@ -80,6 +80,13 @@ class LocMpsScheduler(Scheduler):
         mismatched widths are often strictly worse, so this lands directly
         on the alignment the paper's walk aims for; ``"increment"`` is the
         paper's literal one-processor step (ablation).
+    context:
+        Optional :class:`~repro.schedulers.context.SchedulingContext`
+        carried into every LoCBS pass: per-processor ready times and
+        external inputs (the on-line rescheduler's pinned history) and
+        ``release_floor``, the absolute lower bound on task starts that
+        the online daemon sets to a deferred job's replan time so no
+        spliced task can start before the moment it was admitted.
     memo_limit:
         Upper bound on the number of memoized LoCBS results kept alive
         during one :meth:`run` (FIFO eviction). ``None`` (default) keeps

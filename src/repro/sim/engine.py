@@ -37,7 +37,49 @@ from repro.sim.events import Event, EventKind
 from repro.sim.noise import NoiseModel, NoNoise
 from repro.utils.rng import SeedLike, as_generator
 
-__all__ = ["SimulatedTask", "SimulationReport", "ExecutionEngine"]
+__all__ = [
+    "SimulatedTask",
+    "SimulationReport",
+    "ExecutionEngine",
+    "verify_realized",
+]
+
+
+def verify_realized(
+    graph: TaskGraph, done: Dict[str, "SimulatedTask"], *, tol: float = 1e-6
+) -> None:
+    """Raise if a realized execution of *graph* violates its semantics.
+
+    Checks completeness (every task ran), precedence (no consumer's
+    ``exec_start`` precedes a producer's ``finish`` beyond *tol*) and
+    processor exclusivity over the realized ``(start, finish)`` windows.
+    Duck-typed over the values of *done*: anything with ``exec_start`` /
+    ``finish`` / ``start`` / ``processors`` attributes qualifies, so both
+    :class:`SimulatedTask` and :class:`~repro.schedule.PlacedTask` (where
+    ``exec_start`` exists) can be verified — the online daemon audits its
+    live chart with the same oracle the rescheduler uses.
+    """
+    if set(done) != set(graph.tasks()):
+        missing = set(graph.tasks()) - set(done)
+        raise SimulationError(f"tasks never executed: {sorted(missing)!r}")
+    for u, v in graph.edges():
+        if done[v].exec_start < done[u].finish - tol:
+            raise SimulationError(
+                f"precedence violated: {v!r} started at "
+                f"{done[v].exec_start:g} before {u!r} finished at "
+                f"{done[u].finish:g}"
+            )
+    by_proc: Dict[int, List[Tuple[float, float, str]]] = {}
+    for sim in done.values():
+        for p in sim.processors:
+            by_proc.setdefault(p, []).append((sim.start, sim.finish, sim.name))
+    for p, windows in by_proc.items():
+        windows.sort()
+        for (s1, e1, n1), (s2, e2, n2) in zip(windows, windows[1:]):
+            if s2 < e1 - tol:
+                raise SimulationError(
+                    f"processor {p} oversubscribed: {n1!r} and {n2!r} overlap"
+                )
 
 
 @dataclass(frozen=True)

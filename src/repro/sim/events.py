@@ -16,6 +16,12 @@ class EventKind(enum.Enum):
     TRANSFER_END = "transfer_end"
     TASK_START = "task_start"
     TASK_END = "task_end"
+    # Job-granularity events used by the online daemon (`repro.online`):
+    # a whole DAG arriving at, entering, and leaving the live chart.
+    JOB_SUBMIT = "job_submit"
+    JOB_START = "job_start"
+    JOB_END = "job_end"
+    REPLAN = "replan"
 
 
 @dataclass(frozen=True)

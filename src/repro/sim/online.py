@@ -31,12 +31,13 @@ from repro.cluster import Cluster
 from repro.exceptions import SimulationError
 from repro.graph import TaskGraph
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.redistribution import RedistributionModel
 from repro.schedule import Schedule
 from repro.schedulers.base import Scheduler
 from repro.schedulers.context import ExternalInput, SchedulingContext
 from repro.schedulers.locmps import LocMpsScheduler
-from repro.sim.engine import SimulatedTask
+from repro.sim.engine import SimulatedTask, verify_realized
 from repro.sim.noise import NoiseModel, NoNoise
 from repro.utils.rng import SeedLike, as_generator
 
@@ -50,12 +51,20 @@ class OnlineReport:
     makespan: float
     replans: int
     tasks: Dict[str, SimulatedTask]
-    #: the same noise stream applied to the static plan, for comparison
-    static_makespan: float = float("nan")
+    #: the same noise stream applied to the static plan, for comparison;
+    #: ``None`` when the run skipped the static replay
+    static_makespan: Optional[float] = None
 
     @property
-    def improvement_over_static(self) -> float:
-        """``static / online`` (> 1 means replanning helped)."""
+    def improvement_over_static(self) -> Optional[float]:
+        """``static / online`` (> 1 means replanning helped).
+
+        ``None`` when no static baseline was computed (``run(...)`` with
+        ``compare_static=False``) — previously this silently divided
+        ``nan``, which poisoned downstream aggregates.
+        """
+        if self.static_makespan is None:
+            return None
         return self.static_makespan / self.makespan
 
 
@@ -105,6 +114,7 @@ class OnlineRescheduler:
         max_replans: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         warm_start: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if deviation_threshold <= 0:
             raise ValueError(
@@ -116,8 +126,13 @@ class OnlineRescheduler:
         self.seed = seed
         self.deviation_threshold = deviation_threshold
         self.max_replans = max_replans
+        #: observability sink threaded into the default LoC-MPS factory,
+        #: so warm-start adoption (``cache_warm_start`` events) and prune
+        #: telemetry from each replanning round land in one trace that
+        #: :func:`~repro.obs.registry.registry_from_events` can fold
+        self.tracer = tracer or NULL_TRACER
         self._factory = scheduler_factory or (
-            lambda ctx: LocMpsScheduler(context=ctx)
+            lambda ctx: LocMpsScheduler(context=ctx, tracer=self.tracer)
         )
         self.model = RedistributionModel(cluster)
         self.metrics = metrics
@@ -337,26 +352,9 @@ class OnlineRescheduler:
     # -- invariants ------------------------------------------------------------------
 
     def check_realized(self, done: Dict[str, SimulatedTask]) -> None:
-        """Raise if the realized execution violates the original graph."""
-        if set(done) != set(self.graph.tasks()):
-            missing = set(self.graph.tasks()) - set(done)
-            raise SimulationError(f"tasks never executed: {sorted(missing)!r}")
-        for u, v in self.graph.edges():
-            if done[v].exec_start < done[u].finish - 1e-6:
-                raise SimulationError(
-                    f"precedence violated: {v!r} started at "
-                    f"{done[v].exec_start:g} before {u!r} finished at "
-                    f"{done[u].finish:g}"
-                )
-        # processor exclusivity over realized busy windows
-        by_proc: Dict[int, List[Tuple[float, float, str]]] = {}
-        for sim in done.values():
-            for p in sim.processors:
-                by_proc.setdefault(p, []).append((sim.start, sim.finish, sim.name))
-        for p, windows in by_proc.items():
-            windows.sort()
-            for (s1, e1, n1), (s2, e2, n2) in zip(windows, windows[1:]):
-                if s2 < e1 - 1e-6:
-                    raise SimulationError(
-                        f"processor {p} oversubscribed: {n1!r} and {n2!r} overlap"
-                    )
+        """Raise if the realized execution violates the original graph.
+
+        Delegates to :func:`repro.sim.engine.verify_realized` (the shared
+        oracle also used by the online daemon's chart audit).
+        """
+        verify_realized(self.graph, done)

@@ -26,13 +26,26 @@ def load_example(name: str):
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "custom_speedup", "schedule_analysis", "cached_service"],
+    [
+        "quickstart",
+        "custom_speedup",
+        "schedule_analysis",
+        "cached_service",
+        "online_daemon",
+    ],
 )
 def test_example_runs(name, capsys):
     module = load_example(name)
     module.main()
     out = capsys.readouterr().out
     assert out.strip(), f"example {name} printed nothing"
+
+
+def test_online_daemon_example_proves_identity(capsys):
+    load_example("online_daemon").main()
+    out = capsys.readouterr().out
+    assert "bit-identical=True" in out
+    assert "dashboard" in out
 
 
 def test_quickstart_prints_gantt(capsys):

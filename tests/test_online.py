@@ -146,3 +146,53 @@ class TestOnlineRescheduler:
             deviation_threshold=0.1,
         ).run()
         assert set(report.tasks) == set(g.tasks())
+
+
+class TestWarmStartObservability:
+    def test_replan_warm_starts_reach_the_registry(self):
+        from repro.obs import Tracer
+        from repro.obs.registry import registry_from_events
+
+        tracer = Tracer()
+        g = build_random_graph(12, 3)
+        cl = Cluster(num_processors=6)
+        report = OnlineRescheduler(
+            g, cl, noise=LognormalNoise(0.4, 0.4), seed=2,
+            deviation_threshold=0.05, warm_start=True, tracer=tracer,
+        ).run()
+        assert report.replans >= 1
+        warm = [e for e in tracer.events if e.name == "cache_warm_start"]
+        assert warm, "replans emitted no warm-start telemetry"
+        rendered = registry_from_events(tracer.events).render()
+        assert "cache_warm_starts" in rendered
+
+
+class TestImprovementOverStatic:
+    """Both branches of ``OnlineReport.improvement_over_static``.
+
+    The property used to divide by an unset (``nan``) static makespan and
+    silently poison downstream aggregates; now it returns ``None`` when no
+    static baseline was computed and the true ratio otherwise.
+    """
+
+    def test_none_when_static_replay_skipped(self):
+        g = build_random_graph(8, 2)
+        cl = Cluster(num_processors=4)
+        report = OnlineRescheduler(g, cl, noise=NoNoise()).run(
+            compare_static=False
+        )
+        assert report.static_makespan is None
+        assert report.improvement_over_static is None
+
+    def test_ratio_when_static_present(self):
+        g = build_random_graph(8, 2)
+        cl = Cluster(num_processors=4)
+        report = OnlineRescheduler(g, cl, noise=NoNoise()).run(
+            compare_static=True
+        )
+        assert report.static_makespan is not None
+        assert math.isfinite(report.static_makespan)
+        ratio = report.improvement_over_static
+        assert ratio == pytest.approx(report.static_makespan / report.makespan)
+        # never nan: the property either returns None or a real ratio
+        assert not math.isnan(ratio)
